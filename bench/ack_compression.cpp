@@ -1,0 +1,133 @@
+// Ack compression under two-way traffic (Zhang, Shenker & Clark, ref
+// [29]), the phenomenon the paper names when introducing probe
+// compression: "we refer to this phenomenon as probe compression because
+// of its similarity with the phenomenon of ACK compression".
+//
+// Setup: TCP flow A sends left->right; TCP flow B sends right->left over
+// the same duplex bottleneck.  A's acks share the right->left queue with
+// B's data: whenever several of A's acks queue behind one of B's 512-byte
+// segments, they drain back to back (spaced by the 40-byte ack service
+// time) — compressed relative to the data spacing that generated them.
+//
+// The bench measures A's ack interarrival distribution with and without
+// the reverse flow and reports the compressed fraction (interarrivals at
+// or below ~2 ack service times when the expected spacing is a full data
+// service time, 32 ms).
+#include <iostream>
+
+#include "analysis/histogram.h"
+#include "analysis/stats.h"
+#include "sim/tcp.h"
+#include "util/ascii_plot.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace bolot;
+
+struct AckStudy {
+  std::vector<double> interarrivals_ms;
+  double goodput_bps = 0.0;
+};
+
+AckStudy run(bool with_reverse_flow) {
+  sim::Simulator simulator;
+  sim::Network net(simulator, 3);
+  const auto a_src = net.add_node("a-src");
+  const auto left = net.add_node("left");
+  const auto right = net.add_node("right");
+  const auto a_dst = net.add_node("a-dst");
+  const auto b_src = net.add_node("b-src");
+  const auto b_dst = net.add_node("b-dst");
+
+  sim::LinkConfig fast;
+  fast.rate_bps = 10e6;
+  fast.propagation = Duration::millis(1);
+  fast.buffer_packets = 1000;
+  net.add_duplex_link(a_src, left, fast);
+  net.add_duplex_link(right, a_dst, fast);
+  net.add_duplex_link(b_src, right, fast);
+  net.add_duplex_link(left, b_dst, fast);
+
+  sim::LinkConfig bottleneck;
+  bottleneck.rate_bps = 128e3;
+  bottleneck.propagation = Duration::millis(20);
+  bottleneck.buffer_packets = 20;
+  net.add_duplex_link(left, right, bottleneck);
+
+  sim::TcpSink a_sink(simulator, net, a_dst);
+  sim::TcpSource a(simulator, net, a_src, a_dst, 1, Rng(5), sim::TcpConfig{});
+
+  std::optional<sim::TcpSink> b_sink;
+  std::optional<sim::TcpSource> b;
+  if (with_reverse_flow) {
+    b_sink.emplace(simulator, net, b_dst);
+    b.emplace(simulator, net, b_src, b_dst, 2, Rng(7), sim::TcpConfig{});
+  }
+
+  AckStudy study;
+  SimTime last_ack;
+  bool first = true;
+  a.set_ack_hook([&study, &last_ack, &first](SimTime at, std::uint64_t) {
+    if (!first) study.interarrivals_ms.push_back((at - last_ack).millis());
+    last_ack = at;
+    first = false;
+  });
+
+  net.compute_routes();
+  a.start(Duration::zero());
+  if (b) b->start(Duration::millis(137));
+  simulator.run_until(Duration::minutes(10));
+  study.goodput_bps =
+      static_cast<double>(a.stats().segments_acked) * 512 * 8 / 600.0;
+  return study;
+}
+
+double compressed_fraction(const std::vector<double>& gaps_ms) {
+  // A 40-byte ack needs 2.5 ms at the bottleneck; data spacing is 32 ms.
+  // Interarrivals <= 6 ms mean acks drained back to back.
+  std::size_t compressed = 0;
+  for (double gap : gaps_ms) compressed += gap <= 6.0 ? 1 : 0;
+  return gaps_ms.empty() ? 0.0
+                         : static_cast<double>(compressed) /
+                               static_cast<double>(gaps_ms.size());
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Ack compression under two-way TCP traffic "
+               "(128 kb/s duplex bottleneck, 10 minutes)\n\n";
+  const AckStudy one_way = run(false);
+  const AckStudy two_way = run(true);
+
+  TextTable table;
+  table.row({"configuration", "acks", "median gap(ms)", "compressed frac",
+             "A goodput(kb/s)"});
+  const auto add = [&table](const char* label, const AckStudy& study) {
+    table.row({});
+    table.cell(label)
+        .cell(static_cast<std::int64_t>(study.interarrivals_ms.size()))
+        .cell(bolot::analysis::median(study.interarrivals_ms), 2)
+        .cell(compressed_fraction(study.interarrivals_ms), 3)
+        .cell(study.goodput_bps / 1e3, 1);
+  };
+  add("one-way (A only)", one_way);
+  add("two-way (A + reverse B)", two_way);
+  table.print(std::cout);
+
+  PlotOptions plot;
+  plot.title = "\nA's ack interarrival distribution with two-way traffic";
+  plot.x_label = "ack interarrival (ms); data spacing is 32 ms";
+  plot.width = 56;
+  bolot::analysis::Histogram hist(0.0, 80.0, 20);
+  hist.add_all(two_way.interarrivals_ms);
+  histogram_plot(std::cout, hist.centers(), hist.densities(), plot);
+
+  std::cout << "\nexpected: with one-way traffic acks arrive smoothly near "
+               "the 32 ms data\nspacing; adding the reverse flow moves a "
+               "large fraction to <= 6 ms — acks\nqueue behind B's data "
+               "and pop out back to back, exactly the mechanism the\npaper "
+               "transfers to probes.\n";
+  return 0;
+}

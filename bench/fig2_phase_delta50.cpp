@@ -1,0 +1,57 @@
+// Reproduces Figure 2: the phase plot (rtt_n, rtt_{n+1}) for
+// 0 <= n <= 800 at delta = 50 ms on the INRIA->UMd path, and the two
+// quantities the paper reads off it:
+//   * the minimum-delay corner D ~ 140 ms, and
+//   * the compression line rtt_{n+1} = rtt_n + P/mu - delta whose
+//     x-intercept (~48 ms in the paper) gives mu ~ 128-130 kb/s.
+#include <iostream>
+
+#include "analysis/lindley.h"
+#include "analysis/phase_plot.h"
+#include "scenario/scenarios.h"
+#include "util/ascii_plot.h"
+#include "util/table.h"
+
+int main() {
+  using namespace bolot;
+
+  scenario::ProbePlan plan;
+  plan.delta = Duration::millis(50);
+  plan.duration = Duration::minutes(10);
+  const auto result = scenario::run_inria_umd(plan);
+
+  // The paper plots the first 800 packets; analyze the full trace but
+  // draw the same window.
+  analysis::ProbeTrace window = result.trace;
+  if (window.records.size() > 801) window.records.resize(801);
+  const analysis::PhasePlot plot = analysis::build_phase_plot(window);
+
+  PlotOptions options;
+  options.title = "Figure 2: phase plot of rtt_n (delta = 50 ms, INRIA -> UMd)";
+  options.x_label = "rtt_n (ms)";
+  options.y_label = "rtt_{n+1} (ms)";
+  options.width = 72;
+  options.height = 30;
+  scatter_plot(std::cout, plot.x, plot.y, options);
+
+  const analysis::PhaseAnalysis phase = analysis::analyze_phase_plot(result.trace);
+  const analysis::BottleneckEstimate mu = analysis::estimate_bottleneck(result.trace);
+
+  std::cout << "\n";
+  TextTable table;
+  table.row({"quantity", "measured", "paper"});
+  table.row({"D-hat: min-delay corner (ms)",
+             format_double(phase.fixed_delay_ms, 1), "~140"});
+  if (phase.compression_intercept_ms) {
+    table.row({"compression-line x-intercept (ms)",
+               format_double(*phase.compression_intercept_ms, 1), "48"});
+  }
+  table.row({"mu-hat from compression peak (kb/s)",
+             format_double(mu.mu_bps / 1e3, 1), "~128-130"});
+  table.row({"fraction of pairs on compression line",
+             format_double(phase.compression_fraction, 3), "visible line"});
+  table.row({"fraction of pairs on diagonal",
+             format_double(phase.diagonal_fraction, 3), "dense diagonal"});
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Substrate microbenchmarks (google-benchmark): event-queue throughput,
+// link forwarding, Lindley recursion, and the end-to-end cost of one
+// simulated second of the INRIA->UMd scenario.  These are the knobs that
+// bound how long the paper-reproduction benches take.
+#include <benchmark/benchmark.h>
+
+#include "analysis/lindley.h"
+#include "model/stationary.h"
+#include "sim/tcp.h"
+#include "scenario/scenarios.h"
+#include "sim/event_queue.h"
+#include "sim/link.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace bolot;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    int fired = 0;
+    for (int i = 0; i < batch; ++i) {
+      simulator.schedule_in(Duration::micros(i % 997), [&fired] { ++fired; });
+    }
+    simulator.run_to_completion();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(10000);
+
+void BM_LinkForwarding(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    sim::LinkConfig config;
+    config.rate_bps = 10e6;
+    config.propagation = Duration::micros(10);
+    config.buffer_packets = 64;
+    sim::Link link(simulator, config, Rng(1));
+    std::uint64_t delivered = 0;
+    link.set_sink([&delivered](sim::Packet&&) { ++delivered; });
+    for (int i = 0; i < 1000; ++i) {
+      sim::Packet p;
+      p.size_bytes = 512;
+      simulator.schedule_in(Duration::micros(i * 500),
+                            [&link, p]() mutable { link.enqueue(std::move(p)); });
+    }
+    simulator.run_to_completion();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_LinkForwarding);
+
+void BM_LindleyRecursion(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<double> service(n), gaps(n - 1);
+  for (auto& y : service) y = rng.exponential(4.0);
+  for (auto& x : gaps) x = rng.exponential(5.0);
+  for (auto _ : state) {
+    auto waits = analysis::lindley_waits(service, gaps);
+    benchmark::DoNotOptimize(waits.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LindleyRecursion)->Arg(10000)->Arg(100000);
+
+void BM_InriaUmdScenarioSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    scenario::ProbePlan plan;
+    plan.delta = Duration::millis(20);
+    plan.duration = Duration::seconds(1);
+    auto result = scenario::run_inria_umd(plan);
+    benchmark::DoNotOptimize(result.trace.records.data());
+  }
+}
+BENCHMARK(BM_InriaUmdScenarioSecond);
+
+void BM_TcpTransferSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    sim::Network net(simulator);
+    const auto src = net.add_node("src");
+    const auto dst = net.add_node("dst");
+    sim::LinkConfig link;
+    link.rate_bps = 10e6;
+    link.propagation = Duration::millis(5);
+    link.buffer_packets = 64;
+    net.add_duplex_link(src, dst, link);
+    sim::TcpSink sink(simulator, net, dst);
+    sim::TcpSource source(simulator, net, src, dst, 1, Rng(3), sim::TcpConfig{});
+    source.start(Duration::zero());
+    simulator.run_until(Duration::seconds(1));
+    benchmark::DoNotOptimize(source.stats().segments_acked);
+  }
+}
+BENCHMARK(BM_TcpTransferSecond);
+
+void BM_RedLinkForwarding(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    sim::LinkConfig config;
+    config.rate_bps = 10e6;
+    config.propagation = Duration::micros(10);
+    config.buffer_packets = 64;
+    sim::RedConfig red;
+    config.red = red;
+    sim::Link link(simulator, config, Rng(1));
+    std::uint64_t delivered = 0;
+    link.set_sink([&delivered](sim::Packet&&) { ++delivered; });
+    for (int i = 0; i < 1000; ++i) {
+      sim::Packet p;
+      p.size_bytes = 512;
+      simulator.schedule_in(Duration::micros(i * 300),
+                            [&link, p]() mutable { link.enqueue(std::move(p)); });
+    }
+    simulator.run_to_completion();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_RedLinkForwarding);
+
+void BM_StationarySolver(benchmark::State& state) {
+  model::ModelConfig config;
+  config.mu_bps = 128e3;
+  config.probe_bits = 72 * 8;
+  config.delta = Duration::millis(20);
+  config.buffer_packets = 16;
+  config.batch_phase = 0.5;
+  const std::vector<model::BatchAtom> pmf = {
+      {0.0, 0.6}, {512.0, 0.2}, {4096.0, 0.2}};
+  for (auto _ : state) {
+    auto dist = model::solve_stationary_waits(config, pmf);
+    benchmark::DoNotOptimize(dist.mean_ms());
+  }
+}
+BENCHMARK(BM_StationarySolver);
+
+}  // namespace
+
+BENCHMARK_MAIN();

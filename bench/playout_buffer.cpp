@@ -1,0 +1,81 @@
+// Playout-buffer design from probe measurements — the application the
+// paper's introduction uses to motivate delay characterization: "the
+// shape of the delay distribution is crucial for the proper sizing of
+// playback buffers [Schulzrinne]".
+//
+// An audio stream over the INRIA->UMd path (one packet per 20 ms, like
+// NEVOT's 22.5 ms) is emulated by the probe trace.  The bench sizes fixed
+// playout delays for several gap targets from the measured distribution,
+// and compares them against the adaptive exponential-filter policy —
+// quantifying the latency/quality trade-off the 1990s audio tools
+// navigated.
+#include <iostream>
+
+#include "analysis/playout.h"
+#include "analysis/stats.h"
+#include "scenario/scenarios.h"
+#include "util/table.h"
+
+int main() {
+  using namespace bolot;
+
+  scenario::ProbePlan plan;
+  plan.delta = Duration::millis(20);
+  plan.duration = Duration::minutes(10);
+  const auto result = scenario::run_inria_umd(plan);
+  const auto trace = result.trace;
+  const auto rtts = trace.rtt_ms_received();
+
+  std::cout << "Playout-buffer design over the measured INRIA -> UMd delay "
+               "distribution\n(10 minutes of 20 ms probes standing in for "
+               "an audio stream)\n\n";
+  std::cout << "delay distribution: min "
+            << format_double(analysis::summarize(rtts).min, 1) << "  p50 "
+            << format_double(analysis::median(rtts), 1) << "  p95 "
+            << format_double(analysis::quantile(rtts, 0.95), 1) << "  p99 "
+            << format_double(analysis::quantile(rtts, 0.99), 1) << "  max "
+            << format_double(analysis::summarize(rtts).max, 1)
+            << " (ms)\nnetwork loss: "
+            << format_double(static_cast<double>(trace.lost_count()) /
+                                 static_cast<double>(trace.size()),
+                             3)
+            << "\n\n";
+
+  TextTable table;
+  table.row({"policy", "playout delay(ms)", "late", "gaps total",
+             "comment"});
+  for (const double target : {0.30, 0.25, 0.22}) {
+    try {
+      const double delay = analysis::size_fixed_playout(trace, target);
+      const auto fixed = analysis::evaluate_fixed_playout(trace, delay);
+      table.row({});
+      table.cell("fixed, target " + format_double(target, 2))
+          .cell(delay, 1)
+          .cell(fixed.late_fraction, 3)
+          .cell(fixed.total_gap_fraction, 3)
+          .cell("sized from the measured quantile");
+    } catch (const std::exception&) {
+      table.row({});
+      table.cell("fixed, target " + format_double(target, 2))
+          .cell("-")
+          .cell("-")
+          .cell("-")
+          .cell("infeasible: network loss alone exceeds target");
+    }
+  }
+  const auto adaptive = analysis::evaluate_adaptive_playout(trace);
+  table.row({});
+  table.cell("adaptive (exp filter)")
+      .cell(adaptive.mean_playout_delay_ms, 1)
+      .cell(adaptive.late_fraction, 3)
+      .cell(adaptive.total_gap_fraction, 3)
+      .cell("d-hat + 4*v-hat per 1 s window");
+  table.print(std::cout);
+
+  std::cout << "\nreading: the heavy delay tail (paper section 4) is what "
+               "drives playout\nsizing — meeting tight gap targets costs "
+               "hundreds of ms of fixed latency,\nwhile the adaptive filter "
+               "tracks the congestion level and pays the large\ndelays "
+               "only while they last.\n";
+  return 0;
+}

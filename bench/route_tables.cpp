@@ -1,0 +1,59 @@
+// Reproduces Tables 1 and 2: the routes the probe packets took, as
+// obtained with traceroute.  Our simulator computes static minimum-hop
+// routes over the configured topologies; this bench prints the hop lists
+// the same way the paper's tables do and checks them against the paper's
+// hop names.
+#include <iostream>
+
+#include "scenario/scenarios.h"
+#include "util/table.h"
+
+namespace {
+
+int print_route(const char* title,
+                const std::vector<bolot::sim::TracerouteHop>& route,
+                const std::vector<std::string>& expected) {
+  using namespace bolot;
+  std::cout << title << "\n";
+  TextTable table;
+  table.row({"hop", "node", "matches paper"});
+  int mismatches = 0;
+  for (std::size_t i = 0; i < route.size(); ++i) {
+    const bool ok = i < expected.size() && route[i].name == expected[i];
+    if (!ok) ++mismatches;
+    table.row({std::to_string(i + 1), route[i].name, ok ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+  return mismatches + static_cast<int>(route.size() != expected.size());
+}
+
+}  // namespace
+
+int main() {
+  using namespace bolot;
+
+  // A minimal probe run builds the network and computes routes.
+  scenario::ProbePlan plan;
+  plan.delta = Duration::millis(100);
+  plan.duration = Duration::seconds(10);
+
+  const auto inria = scenario::run_inria_umd(plan);
+  int bad = print_route(
+      "Table 1: route between INRIA and the University of Maryland "
+      "(July 1992)",
+      inria.route, scenario::inria_umd_route_names());
+
+  const auto pitt = scenario::run_umd_pitt(plan);
+  bad += print_route(
+      "Table 2: route between the University of Maryland and the "
+      "University of Pittsburgh (May 1993)",
+      pitt.route, scenario::umd_pitt_route_names());
+
+  if (bad != 0) {
+    std::cout << "MISMATCH: " << bad << " hops differ from the paper\n";
+    return 1;
+  }
+  std::cout << "Both routes match the paper's tables hop for hop.\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Designing audio error control from probe measurements (paper section 5).
+//
+// An Internet audio tool sends a packet every 22.5-125 ms (sampling rate x
+// samples per packet).  Whether open-loop repair works depends on the loss
+// *gap*: if losses are isolated (plg ~ 1), repeating the previous packet —
+// or one FEC packet per data packet — reconstructs nearly everything.
+// This example probes the simulated INRIA->UMd path at an audio-like
+// interval, reports the loss structure, then simulates a playback with
+// repetition repair to quantify residual audio gaps.
+#include <iostream>
+
+#include "analysis/loss.h"
+#include "scenario/scenarios.h"
+#include "util/table.h"
+
+int main() {
+  using namespace bolot;
+
+  // NEVOT-style packetization: one packet per 22.5 ms is below our probe
+  // grid, so use the closest measured interval (20 ms).
+  scenario::ProbePlan plan;
+  plan.delta = Duration::millis(20);
+  plan.duration = Duration::minutes(10);
+
+  std::cout << "Probing at an audio packet interval (" << plan.delta.to_string()
+            << ", 10 minutes) over the simulated INRIA -> UMd path...\n\n";
+  const auto result = scenario::run_inria_umd(plan);
+  const auto losses = result.trace.loss_indicators();
+  const analysis::LossStats stats = analysis::loss_stats(losses);
+  const analysis::GilbertFit gilbert = analysis::fit_gilbert(losses);
+
+  TextTable loss_table;
+  loss_table.row({"loss metric", "value"});
+  loss_table.row({"packet loss rate (ulp)", format_double(stats.ulp, 3)});
+  loss_table.row({"conditional loss (clp)", format_double(stats.clp, 3)});
+  loss_table.row({"loss gap (plg)", format_double(stats.plg_from_clp, 2)});
+  loss_table.row({"mean loss burst", format_double(stats.mean_burst_length, 2)});
+  loss_table.row({"Gilbert p (ok->lost)", format_double(gilbert.p, 4)});
+  loss_table.row({"Gilbert q (lost->ok)", format_double(gilbert.q, 4)});
+  loss_table.print(std::cout);
+
+  std::cout << "\nLoss burst length distribution:\n";
+  TextTable bursts;
+  bursts.row({"burst length", "count"});
+  for (std::size_t k = 0; k < stats.burst_length_counts.size(); ++k) {
+    if (stats.burst_length_counts[k] == 0) continue;
+    bursts.row({std::to_string(k + 1),
+                std::to_string(stats.burst_length_counts[k])});
+  }
+  bursts.print(std::cout);
+
+  // Playback with repetition repair: a lost packet is replaced by the
+  // previous *delivered* packet, which works once per burst.  An audible
+  // gap remains for every loss after the first in a burst.
+  std::size_t audible_gaps = 0;
+  std::size_t run = 0;
+  for (const auto lost : losses) {
+    if (lost != 0) {
+      if (run >= 1) ++audible_gaps;  // repetition already spent
+      ++run;
+    } else {
+      run = 0;
+    }
+  }
+
+  std::cout << "\nPlayback simulation (repeat-previous repair):\n";
+  TextTable playback;
+  playback.row({"metric", "value"});
+  playback.row({"packets", std::to_string(losses.size())});
+  playback.row({"lost", std::to_string(stats.losses)});
+  playback.row({"repaired by repetition",
+                std::to_string(stats.losses - audible_gaps)});
+  playback.row({"audible gaps", std::to_string(audible_gaps)});
+  playback.row(
+      {"residual gap rate",
+       format_double(static_cast<double>(audible_gaps) /
+                         static_cast<double>(losses.size()),
+                     4)});
+  playback.row({"k=1 FEC recoverable fraction",
+                format_double(analysis::fec_recoverable_fraction(losses, 1), 3)});
+  playback.print(std::cout);
+
+  std::cout << "\nThe paper's conclusion: at audio intervals the loss gap "
+               "stays close to 1,\nso open-loop repair (FEC, or simply "
+               "repeating the previous packet) is adequate.\n";
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Full path characterization, the paper's methodology end to end: sweep
+// the probe interval over several time scales, then report for each delta
+// the delay statistics, phase-plot geometry, estimated bottleneck, cross-
+// traffic workload, loss structure, and the time-series diagnostics from
+// section 3 (AR-model adequacy) and the related-work models (constant +
+// gamma delay fit).
+#include <iostream>
+
+#include "analysis/ar_model.h"
+#include "analysis/arma_model.h"
+#include "analysis/gamma_fit.h"
+#include "analysis/lindley.h"
+#include "analysis/loss.h"
+#include "analysis/phase_plot.h"
+#include "analysis/stats.h"
+#include "scenario/scenarios.h"
+#include "util/table.h"
+
+int main() {
+  using namespace bolot;
+  const double deltas_ms[] = {8, 20, 50, 100, 200, 500};
+
+  std::cout << "Characterizing the simulated INRIA -> UMd path across time "
+               "scales\n(10-minute NetDyn run per probe interval)\n\n";
+
+  TextTable delay;
+  delay.row({"delta(ms)", "recv", "min(ms)", "p50", "p95", "max", "mu-hat(kb/s)",
+             "compr"});
+  TextTable loss;
+  loss.row({"delta(ms)", "ulp", "clp", "plg", "runs-z"});
+  TextTable models;
+  models.row({"delta(ms)", "AR(1) phi", "AR R^2", "ARMA R^2", "gamma k",
+              "gamma theta", "KS"});
+
+  for (double delta_ms : deltas_ms) {
+    scenario::ProbePlan plan;
+    plan.delta = Duration::millis(delta_ms);
+    plan.duration = Duration::minutes(10);
+    const auto result = scenario::run_inria_umd(plan);
+    const auto rtts = result.trace.rtt_ms_received();
+    const analysis::Summary s = analysis::summarize(rtts);
+    const auto phase = analysis::analyze_phase_plot(result.trace);
+
+    delay.row({});
+    delay.cell(format_double(delta_ms, 0))
+        .cell(static_cast<std::int64_t>(rtts.size()))
+        .cell(s.min, 1)
+        .cell(analysis::median(rtts), 1)
+        .cell(analysis::quantile(rtts, 0.95), 1)
+        .cell(s.max, 1);
+    try {
+      const auto mu = analysis::estimate_bottleneck(result.trace);
+      // The compression-peak estimator is a small-delta tool: with few
+      // samples in the cluster the "peak" is noise, so report nothing.
+      if (mu.cluster_fraction >= 0.02) {
+        delay.cell(mu.mu_bps / 1e3, 1);
+      } else {
+        delay.cell("-");
+      }
+    } catch (const std::exception&) {
+      delay.cell("-");
+    }
+    delay.cell(phase.compression_fraction, 3);
+
+    const auto ls = analysis::loss_stats(result.trace);
+    loss.row({});
+    loss.cell(format_double(delta_ms, 0))
+        .cell(ls.ulp, 3)
+        .cell(ls.clp, 3)
+        .cell(ls.plg_from_clp, 2);
+    try {
+      loss.cell(analysis::loss_runs_test_z(result.trace.loss_indicators()),
+                1);
+    } catch (const std::exception&) {
+      loss.cell("-");
+    }
+
+    models.row({});
+    models.cell(format_double(delta_ms, 0));
+    try {
+      const auto ar = analysis::fit_ar(rtts, 1);
+      models.cell(ar.coefficients[0], 3).cell(analysis::ar_r_squared(ar, rtts), 3);
+    } catch (const std::exception&) {
+      models.cell("-").cell("-");
+    }
+    try {
+      const auto arma = analysis::fit_arma(rtts, 1, 1);
+      models.cell(analysis::arma_r_squared(arma, rtts), 3);
+    } catch (const std::exception&) {
+      models.cell("-");
+    }
+    try {
+      const auto gamma = analysis::fit_constant_plus_gamma(rtts);
+      models.cell(gamma.shape, 2)
+          .cell(gamma.scale, 2)
+          .cell(analysis::ks_statistic(gamma, rtts), 3);
+    } catch (const std::exception&) {
+      models.cell("-").cell("-").cell("-");
+    }
+  }
+
+  std::cout << "Delay and bottleneck estimation:\n";
+  delay.print(std::cout);
+  std::cout << "\nLoss structure (runs-z < -2 indicates clustered losses):\n";
+  loss.print(std::cout);
+  std::cout << "\nTime-series and distribution models (section 3 program):\n";
+  models.print(std::cout);
+  std::cout << "\nReading the output:\n"
+            << "  * mu-hat should track the 128 kb/s transatlantic link at "
+               "small delta;\n"
+            << "  * compression fades and plg -> 1 as delta grows;\n"
+            << "  * high AR R^2 at small delta means queueing delay is "
+               "short-term predictable\n"
+            << "    (relevant for predictive congestion control);\n"
+            << "  * the constant+gamma fit quality (KS) shows how well the "
+               "Mukherjee model\n    describes this path.\n";
+  return 0;
+}

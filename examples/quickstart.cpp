@@ -1,0 +1,71 @@
+// Quickstart: run a NetDyn experiment over the simulated INRIA->UMd path
+// (the paper's Table-1 topology), then analyze delay and loss exactly as
+// the paper does in sections 4 and 5.
+#include <iostream>
+
+#include "analysis/lindley.h"
+#include "analysis/loss.h"
+#include "analysis/phase_plot.h"
+#include "analysis/stats.h"
+#include "scenario/scenarios.h"
+#include "util/table.h"
+
+int main() {
+  using namespace bolot;
+
+  scenario::ProbePlan plan;
+  plan.delta = Duration::millis(50);
+  plan.duration = Duration::minutes(2);  // keep the quickstart snappy
+
+  std::cout << "Probing the simulated INRIA -> UMd path (delta = "
+            << plan.delta.to_string() << ", " << plan.probe_count()
+            << " probes)...\n\n";
+  const scenario::ScenarioResult result = scenario::run_inria_umd(plan);
+
+  std::cout << "Route (" << result.route.size() << " hops):\n";
+  for (std::size_t i = 0; i < result.route.size(); ++i) {
+    std::cout << "  " << i + 1 << "  " << result.route[i].name << "\n";
+  }
+
+  const auto rtts = result.trace.rtt_ms_received();
+  const analysis::Summary summary = analysis::summarize(rtts);
+  const analysis::PhaseAnalysis phase =
+      analysis::analyze_phase_plot(result.trace);
+  const analysis::LossStats loss = analysis::loss_stats(result.trace);
+
+  std::cout << "\nDelay:\n";
+  TextTable delay;
+  delay.row({"metric", "value"});
+  delay.row({"probes received", std::to_string(result.trace.received_count())});
+  delay.row({"mean rtt (ms)", format_double(summary.mean, 1)});
+  delay.row({"min rtt / D-hat (ms)", format_double(phase.fixed_delay_ms, 1)});
+  delay.row({"max rtt (ms)", format_double(summary.max, 1)});
+  try {
+    const analysis::BottleneckEstimate mu =
+        analysis::estimate_bottleneck(result.trace);
+    delay.row({"bottleneck mu-hat (kb/s)", format_double(mu.mu_bps / 1e3, 1)});
+  } catch (const std::exception&) {
+    // No compression cluster: delta too large for this path.
+  }
+  delay.row({"compression fraction",
+             format_double(phase.compression_fraction, 3)});
+  delay.print(std::cout);
+
+  std::cout << "\nLoss:\n";
+  TextTable losses;
+  losses.row({"metric", "value"});
+  losses.row({"ulp", format_double(loss.ulp, 3)});
+  losses.row({"clp", format_double(loss.clp, 3)});
+  losses.row({"plg", format_double(loss.plg_from_clp, 2)});
+  losses.row({"overflow drops (all links)",
+              std::to_string(result.total_overflow_drops)});
+  losses.row({"random drops (faulty cards)",
+              std::to_string(result.total_random_drops)});
+  losses.print(std::cout);
+
+  std::cout << "\nBottleneck utilization (forward): "
+            << format_double(
+                   result.bottleneck_forward.utilization(result.simulated), 3)
+            << "\n";
+  return 0;
+}

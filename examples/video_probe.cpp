@@ -1,0 +1,104 @@
+// Section 5's open question, answered by experiment.
+//
+// "Video applications do not send video packets at regular intervals ...
+// [IVS] generates variable-size packets at intervals ranging from 15 to
+// 120 ms.  Although it is not clear whether the conclusions above still
+// apply in this case, we take our results as an indication that open loop
+// error control schemes would be useful to reconstruct lost video frames.
+// We are currently investigating this issue."
+//
+// This example sends probes with IVS-like random intervals (15-120 ms)
+// over the INRIA->UMd bottleneck, side by side with regular probing at
+// the same average rate, and compares the loss processes: if the loss gap
+// stays near 1 under video timing too, the paper's FEC conclusion carries
+// over.
+#include <iostream>
+
+#include "analysis/loss.h"
+#include "sim/traffic.h"
+#include "sim/udp_echo.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace bolot;
+
+analysis::ProbeTrace run(bool video_timing) {
+  sim::Simulator simulator;
+  sim::Network net(simulator, 5);
+  const auto src = net.add_node("src");
+  const auto left = net.add_node("left");
+  const auto right = net.add_node("right");
+  const auto echo_node = net.add_node("echo");
+  sim::LinkConfig fast;
+  fast.rate_bps = 10e6;
+  fast.propagation = Duration::millis(1);
+  fast.buffer_packets = 500;
+  net.add_duplex_link(src, left, fast);
+  net.add_duplex_link(right, echo_node, fast);
+  sim::LinkConfig bottleneck;
+  bottleneck.rate_bps = 128e3;
+  bottleneck.propagation = Duration::millis(52);
+  bottleneck.buffer_packets = 14;
+  net.add_duplex_link(left, right, bottleneck);
+
+  const auto cross_src = net.add_node("cross-src");
+  const auto cross_dst = net.add_node("cross-dst");
+  net.add_duplex_link(cross_src, left, fast);
+  net.add_duplex_link(right, cross_dst, fast);
+  sim::BurstConfig bursts;
+  bursts.mean_burst_gap = Duration::millis(600);
+  bursts.mean_burst_packets = 8.0;
+  bursts.packet_bytes = 512;
+  bursts.in_burst_spacing = Duration::micros(410);
+  sim::BurstSource cross(simulator, net, cross_src, cross_dst, 1,
+                         sim::PacketKind::kBulk, Rng(9), bursts);
+
+  sim::EchoHost echo(simulator, net, echo_node);
+  sim::ProbeSourceConfig config;
+  config.delta = Duration::millis(67.5);  // mean of uniform(15, 120)
+  config.probe_count = 9000;              // ~10 minutes at the mean rate
+  if (video_timing) {
+    config.interval_sampler = [](Rng& rng) {
+      return Duration::millis(rng.uniform(15.0, 120.0));
+    };
+  }
+  sim::UdpEchoSource probes(simulator, net, src, echo_node, config);
+  net.compute_routes();
+  cross.start(Duration::zero());
+  probes.start(Duration::seconds(2));
+  simulator.run_until(Duration::minutes(12));
+  return probes.trace();
+}
+
+void report(const char* label, const analysis::ProbeTrace& trace,
+            TextTable& table) {
+  const auto losses = trace.loss_indicators();
+  const auto stats = analysis::loss_stats(losses);
+  table.row({});
+  table.cell(label)
+      .cell(stats.ulp, 3)
+      .cell(stats.clp, 3)
+      .cell(stats.plg_from_clp, 2)
+      .cell(analysis::fec_recoverable_fraction(losses, 1), 3)
+      .cell(analysis::fec_recoverable_fraction(losses, 2), 3);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Does the paper's audio-FEC conclusion survive video (VBR) "
+               "packet timing?\n(INRIA-UMd-like bottleneck; regular vs "
+               "IVS-style 15-120 ms random intervals)\n\n";
+  TextTable table;
+  table.row({"timing", "ulp", "clp", "plg", "repair k=1", "repair k=2"});
+  report("regular 67.5 ms", run(false), table);
+  report("video 15-120 ms", run(true), table);
+  table.print(std::cout);
+  std::cout
+      << "\nIf plg stays near 1 and k=1 repair recovers a similar share "
+         "under video\ntiming, open-loop repair is adequate for video too — "
+         "closing the paper's\n\"we are currently investigating\" question "
+         "within the model.\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+#include "analysis/gamma_fit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/stats.h"
+
+namespace bolot::analysis {
+
+namespace {
+
+// Lanczos-free implementation using std::lgamma, following the classic
+// series / continued-fraction split at x = k + 1.
+double gamma_p_series(double k, double x) {
+  double term = 1.0 / k;
+  double sum = term;
+  for (int n = 1; n < 500; ++n) {
+    term *= x / (k + n);
+    sum += term;
+    if (std::abs(term) < std::abs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + k * std::log(x) - std::lgamma(k));
+}
+
+double gamma_q_continued_fraction(double k, double x) {
+  // Lentz's algorithm for the continued fraction of Q(k, x).
+  const double tiny = 1e-300;
+  double b = x + 1.0 - k;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - k);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::abs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < 1e-15) break;
+  }
+  return h * std::exp(-x + k * std::log(x) - std::lgamma(k));
+}
+
+}  // namespace
+
+double regularized_gamma_p(double k, double x) {
+  if (k <= 0.0) throw std::invalid_argument("regularized_gamma_p: k <= 0");
+  if (x <= 0.0) return 0.0;
+  if (x < k + 1.0) return gamma_p_series(k, x);
+  return 1.0 - gamma_q_continued_fraction(k, x);
+}
+
+double ConstantPlusGamma::cdf(double x) const {
+  const double excess = x - constant;
+  if (excess <= 0.0) return 0.0;
+  if (shape <= 0.0 || scale <= 0.0) return 1.0;  // degenerate: point mass
+  return regularized_gamma_p(shape, excess / scale);
+}
+
+ConstantPlusGamma fit_constant_plus_gamma(std::span<const double> xs) {
+  if (xs.size() < 2) {
+    throw std::invalid_argument("fit_constant_plus_gamma: need >= 2 samples");
+  }
+  const Summary s = summarize(xs);
+  if (s.variance <= 0.0) {
+    throw std::invalid_argument("fit_constant_plus_gamma: constant sample");
+  }
+  ConstantPlusGamma fit;
+  fit.constant = s.min;
+  const double excess_mean = s.mean - s.min;
+  // Method of moments on the excess: mean = k*theta, var = k*theta^2.
+  // The variance of (x - min) equals the variance of x.
+  fit.scale = s.variance / excess_mean;
+  fit.shape = excess_mean / fit.scale;
+  return fit;
+}
+
+double ks_statistic(const ConstantPlusGamma& fit, std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("ks_statistic: empty sample");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  double ks = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double model = fit.cdf(sorted[i]);
+    const double empirical_hi = static_cast<double>(i + 1) / n;
+    const double empirical_lo = static_cast<double>(i) / n;
+    ks = std::max(ks, std::abs(model - empirical_hi));
+    ks = std::max(ks, std::abs(model - empirical_lo));
+  }
+  return ks;
+}
+
+}  // namespace bolot::analysis

@@ -1,0 +1,40 @@
+// Minimal dense linear algebra for the model-fitting routines: just what
+// Hannan-Rissanen ARMA estimation needs (a linear solver and ordinary
+// least squares), kept deliberately small.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace bolot::analysis {
+
+/// Row-major dense matrix.
+class Matrix {
+ public:
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b by Gaussian elimination with partial pivoting.  A must
+/// be square with rows() == b.size().  Throws std::invalid_argument on
+/// shape mismatch, std::runtime_error if A is (numerically) singular.
+std::vector<double> solve_linear(Matrix a, std::vector<double> b);
+
+/// Ordinary least squares: minimizes ||X beta - y||^2 via the normal
+/// equations.  X.rows() == y.size() and X.rows() >= X.cols() required.
+std::vector<double> least_squares(const Matrix& x, std::span<const double> y);
+
+}  // namespace bolot::analysis

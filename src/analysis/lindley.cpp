@@ -1,0 +1,243 @@
+#include "analysis/lindley.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace bolot::analysis {
+
+std::vector<double> lindley_waits(std::span<const double> service,
+                                  std::span<const double> interarrival,
+                                  double initial_wait) {
+  if (service.empty()) return {};
+  if (interarrival.size() + 1 < service.size()) {
+    throw std::invalid_argument("lindley_waits: too few interarrival gaps");
+  }
+  std::vector<double> waits(service.size());
+  waits[0] = std::max(0.0, initial_wait);
+  for (std::size_t n = 0; n + 1 < service.size(); ++n) {
+    waits[n + 1] = std::max(0.0, waits[n] + service[n] - interarrival[n]);
+  }
+  return waits;
+}
+
+std::vector<double> workload_samples_ms(const ProbeTrace& trace) {
+  std::vector<double> samples;
+  const double delta_ms = trace.delta.millis();
+  const auto& records = trace.records;
+  for (std::size_t n = 0; n + 1 < records.size(); ++n) {
+    if (!records[n].received || !records[n + 1].received) continue;
+    samples.push_back(records[n + 1].rtt.millis() - records[n].rtt.millis() +
+                      delta_ms);
+  }
+  return samples;
+}
+
+WorkloadAnalysis analyze_workload(const ProbeTrace& trace,
+                                  const WorkloadOptions& options) {
+  if (options.bottleneck_bps <= 0.0) {
+    throw std::invalid_argument("analyze_workload: mu must be positive");
+  }
+  const std::vector<double> samples = workload_samples_ms(trace);
+  if (samples.empty()) {
+    throw std::invalid_argument("analyze_workload: no consecutive pairs");
+  }
+  const double delta_ms = trace.delta.millis();
+  double max_ms = options.max_ms;
+  if (max_ms <= 0.0) {
+    max_ms = 0.0;
+    for (double g : samples) max_ms = std::max(max_ms, g);
+    max_ms = std::max(max_ms * 1.05, delta_ms * 2.0);
+  }
+  const auto bins = static_cast<std::size_t>(
+      std::max(8.0, std::ceil(max_ms / options.bin_ms)));
+
+  const double mu = options.bottleneck_bps;       // bit/s
+  const double mu_bits_per_ms = mu * 1e-3;
+  const double probe_bits = static_cast<double>(trace.probe_wire_bytes * 8);
+  const double ref_bits =
+      static_cast<double>(options.reference_packet_bytes * 8);
+
+  WorkloadAnalysis result{Histogram(0.0, max_ms, bins), {}, 0.0, 0.0};
+  result.histogram.add_all(samples);
+
+  for (const HistogramPeak& peak :
+       result.histogram.find_peaks(options.min_peak_mass, 2)) {
+    WorkloadPeak wp;
+    wp.position_ms = peak.center;
+    wp.mass = peak.mass;
+    wp.workload_bits =
+        std::max(0.0, mu_bits_per_ms * peak.center - probe_bits);
+    // Label peaks that are neither the compression peak (near P/mu) nor the
+    // idle peak (near delta) as k reference packets.
+    const double service_ms = probe_bits / mu_bits_per_ms;  // P/mu in ms
+    const double half_bin = result.histogram.bin_width();
+    const bool is_compression = std::abs(peak.center - service_ms) <= half_bin;
+    const bool is_idle = std::abs(peak.center - delta_ms) <= half_bin;
+    if (!is_compression && !is_idle && wp.workload_bits > 0.0) {
+      wp.cross_packets = wp.workload_bits / ref_bits;
+    }
+    result.peaks.push_back(wp);
+  }
+
+  // Mean workload over samples where the busy-period assumption holds
+  // (g_n > P/mu, i.e. implied b_n > 0).
+  double sum_bits = 0.0;
+  std::size_t busy = 0;
+  for (double g : samples) {
+    const double b = mu_bits_per_ms * g - probe_bits;
+    if (b > 0.0) {
+      sum_bits += b;
+      ++busy;
+    }
+  }
+  result.mean_workload_bits = busy > 0 ? sum_bits / static_cast<double>(busy) : 0.0;
+  result.busy_sample_fraction =
+      static_cast<double>(busy) / static_cast<double>(samples.size());
+  return result;
+}
+
+namespace {
+
+/// Exact-value frequency map for quantized data: g values are discrete
+/// (multiples of the source clock tick offset from delta), so count them
+/// at microsecond resolution instead of smearing them into wide bins.
+std::map<std::int64_t, std::size_t> discrete_counts(
+    const std::vector<double>& samples, double lo_ms, double hi_ms) {
+  std::map<std::int64_t, std::size_t> counts;
+  for (double g : samples) {
+    if (g <= lo_ms || g >= hi_ms) continue;
+    ++counts[static_cast<std::int64_t>(std::llround(g * 1e3))];  // us
+  }
+  return counts;
+}
+
+}  // namespace
+
+BottleneckEstimate estimate_bottleneck(const ProbeTrace& trace,
+                                       const BottleneckOptions& options) {
+  const std::vector<double> samples = workload_samples_ms(trace);
+  if (samples.empty()) {
+    throw std::invalid_argument("estimate_bottleneck: no consecutive pairs");
+  }
+  const double delta_ms = trace.delta.millis();
+  const double tick_ms = trace.clock_tick.millis();
+  // The compression cluster must sit clearly left of the idle peak at
+  // delta.
+  const double search_hi = 0.75 * delta_ms;
+
+  double lower = 0.0;
+  double upper = 0.0;
+  if (tick_ms > 0.0) {
+    // Quantized clocks spread a point mass over exactly two adjacent tick
+    // values; the pure-compression samples (nothing interleaved between
+    // two queued probes) repeat exactly, while contaminated samples
+    // scatter to other ticks.  Find the adjacent tick pair with maximal
+    // combined count and average just those samples — this stays robust
+    // as delta grows and interleaving becomes common.
+    const auto counts = discrete_counts(samples, 0.0, search_hi);
+    if (counts.empty()) {
+      throw std::runtime_error(
+          "estimate_bottleneck: no compression cluster (delta too large or "
+          "path uncongested)");
+    }
+    const auto tick_us = static_cast<std::int64_t>(std::llround(tick_ms * 1e3));
+    std::int64_t best_value = 0;
+    std::size_t best_count = 0;
+    for (const auto& [value_us, count] : counts) {
+      std::size_t pair = count;
+      const auto next = counts.find(value_us + tick_us);
+      if (next != counts.end()) pair += next->second;
+      if (pair > best_count) {
+        best_count = pair;
+        best_value = value_us;
+      }
+    }
+    lower = static_cast<double>(best_value) * 1e-3 - 1e-3;
+    upper = static_cast<double>(best_value + tick_us) * 1e-3 + 1e-3;
+  } else {
+    // Exact clocks: pure-compression samples coincide at P/mu, so a fine
+    // histogram's modal bin nails the cluster.
+    const double bin = std::min(options.bin_ms, 0.25);
+    Histogram hist(0.0, search_hi,
+                   static_cast<std::size_t>(
+                       std::max(4.0, std::ceil(search_hi / bin))));
+    for (double g : samples) {
+      if (g > 0.0 && g < search_hi) hist.add(g);
+    }
+    const auto peaks = hist.find_peaks(options.min_peak_mass, 2);
+    const HistogramPeak* dominant = nullptr;
+    for (const auto& peak : peaks) {
+      if (dominant == nullptr || peak.mass > dominant->mass) dominant = &peak;
+    }
+    if (dominant == nullptr) {
+      throw std::runtime_error(
+          "estimate_bottleneck: no compression cluster (delta too large or "
+          "path uncongested)");
+    }
+    lower = dominant->center - hist.bin_width();
+    upper = dominant->center + hist.bin_width();
+  }
+
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (double g : samples) {
+    if (g > lower && g <= upper) {
+      sum += g;
+      ++count;
+    }
+  }
+  if (count == 0) {
+    throw std::runtime_error("estimate_bottleneck: empty cluster");
+  }
+  BottleneckEstimate estimate;
+  estimate.service_time_ms = sum / static_cast<double>(count);
+  estimate.mu_bps = static_cast<double>(trace.probe_wire_bytes * 8) /
+                    (estimate.service_time_ms * 1e-3);
+  estimate.cluster_samples = count;
+  estimate.cluster_fraction =
+      static_cast<double>(count) / static_cast<double>(samples.size());
+  return estimate;
+}
+
+BottleneckEstimate estimate_bottleneck_packet_pair(
+    const ProbeTrace& trace, const PacketPairOptions& options) {
+  std::vector<double> spacings_ms;
+  const auto& records = trace.records;
+  for (std::size_t n = 0; n + 1 < records.size(); ++n) {
+    const auto& first = records[n];
+    const auto& second = records[n + 1];
+    if (!first.received || !second.received) continue;
+    if (second.send_time - first.send_time > options.pair_send_gap) continue;
+    const Duration r1 = first.send_time + first.rtt;
+    const Duration r2 = second.send_time + second.rtt;
+    const double spacing = (r2 - r1).millis();
+    if (spacing > 0.0) spacings_ms.push_back(spacing);
+  }
+  if (spacings_ms.empty()) {
+    throw std::invalid_argument(
+        "estimate_bottleneck_packet_pair: no back-to-back pairs received");
+  }
+  std::sort(spacings_ms.begin(), spacings_ms.end());
+  const double med = spacings_ms[spacings_ms.size() / 2];
+  // Centroid of the non-interleaved cluster around the median.
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (double s : spacings_ms) {
+    if (s <= med * options.outlier_factor) {
+      sum += s;
+      ++count;
+    }
+  }
+  BottleneckEstimate estimate;
+  estimate.service_time_ms = sum / static_cast<double>(count);
+  estimate.mu_bps = static_cast<double>(trace.probe_wire_bytes * 8) /
+                    (estimate.service_time_ms * 1e-3);
+  estimate.cluster_samples = count;
+  estimate.cluster_fraction =
+      static_cast<double>(count) / static_cast<double>(spacings_ms.size());
+  return estimate;
+}
+
+}  // namespace bolot::analysis

@@ -1,0 +1,160 @@
+#include "analysis/loss.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bolot::analysis {
+
+LossStats loss_stats(std::span<const std::uint8_t> losses) {
+  if (losses.empty()) throw std::invalid_argument("loss_stats: empty input");
+  LossStats s;
+  s.probes = losses.size();
+
+  std::size_t lost_pairs_num = 0;  // pairs (lost, lost)
+  std::size_t lost_pairs_den = 0;  // pairs (lost, *)
+  std::size_t run = 0;
+  for (std::size_t n = 0; n < losses.size(); ++n) {
+    const bool lost = losses[n] != 0;
+    if (lost) {
+      ++s.losses;
+      ++run;
+    }
+    if (n + 1 < losses.size() && lost) {
+      ++lost_pairs_den;
+      if (losses[n + 1] != 0) ++lost_pairs_num;
+    }
+    if (!lost && run > 0) {
+      // run of length `run` just ended at n-1
+      if (run > s.burst_length_counts.size()) {
+        s.burst_length_counts.resize(run, 0);
+      }
+      ++s.burst_length_counts[run - 1];
+      run = 0;
+    } else if (lost && n + 1 == losses.size()) {
+      if (run > s.burst_length_counts.size()) {
+        s.burst_length_counts.resize(run, 0);
+      }
+      ++s.burst_length_counts[run - 1];
+    }
+  }
+
+  s.ulp = static_cast<double>(s.losses) / static_cast<double>(s.probes);
+  s.clp = lost_pairs_den > 0 ? static_cast<double>(lost_pairs_num) /
+                                   static_cast<double>(lost_pairs_den)
+                             : 0.0;
+  s.plg_from_clp = s.clp < 1.0 ? 1.0 / (1.0 - s.clp) : INFINITY;
+
+  std::size_t burst_count = 0;
+  std::size_t burst_total = 0;
+  for (std::size_t k = 0; k < s.burst_length_counts.size(); ++k) {
+    burst_count += s.burst_length_counts[k];
+    burst_total += s.burst_length_counts[k] * (k + 1);
+  }
+  s.mean_burst_length = burst_count > 0 ? static_cast<double>(burst_total) /
+                                              static_cast<double>(burst_count)
+                                        : 0.0;
+  return s;
+}
+
+LossStats loss_stats(const ProbeTrace& trace) {
+  const auto indicators = trace.loss_indicators();
+  return loss_stats(indicators);
+}
+
+GilbertFit fit_gilbert(std::span<const std::uint8_t> losses) {
+  if (losses.size() < 2) {
+    throw std::invalid_argument("fit_gilbert: need at least two samples");
+  }
+  std::size_t ok_to_lost = 0, ok_pairs = 0;
+  std::size_t lost_to_ok = 0, lost_pairs = 0;
+  for (std::size_t n = 0; n + 1 < losses.size(); ++n) {
+    if (losses[n] == 0) {
+      ++ok_pairs;
+      if (losses[n + 1] != 0) ++ok_to_lost;
+    } else {
+      ++lost_pairs;
+      if (losses[n + 1] == 0) ++lost_to_ok;
+    }
+  }
+  GilbertFit fit;
+  fit.p = ok_pairs > 0 ? static_cast<double>(ok_to_lost) /
+                             static_cast<double>(ok_pairs)
+                       : 0.0;
+  fit.q = lost_pairs > 0 ? static_cast<double>(lost_to_ok) /
+                               static_cast<double>(lost_pairs)
+                         : 1.0;
+  return fit;
+}
+
+std::vector<std::uint8_t> generate_gilbert(const GilbertFit& fit,
+                                           std::size_t n, Rng& rng) {
+  if (fit.p < 0.0 || fit.p > 1.0 || fit.q < 0.0 || fit.q > 1.0) {
+    throw std::invalid_argument("generate_gilbert: probabilities outside [0,1]");
+  }
+  std::vector<std::uint8_t> losses;
+  losses.reserve(n);
+  bool lost = rng.chance(fit.stationary_loss());
+  for (std::size_t i = 0; i < n; ++i) {
+    losses.push_back(lost ? 1 : 0);
+    lost = lost ? !rng.chance(fit.q) : rng.chance(fit.p);
+  }
+  return losses;
+}
+
+double loss_runs_test_z(std::span<const std::uint8_t> losses) {
+  std::size_t n1 = 0, n0 = 0;
+  for (auto v : losses) (v != 0 ? n1 : n0)++;
+  if (n0 == 0 || n1 == 0) {
+    throw std::invalid_argument("loss_runs_test_z: need both outcomes");
+  }
+  std::size_t runs = 1;
+  for (std::size_t n = 1; n < losses.size(); ++n) {
+    if ((losses[n] != 0) != (losses[n - 1] != 0)) ++runs;
+  }
+  const double a = static_cast<double>(n0);
+  const double b = static_cast<double>(n1);
+  const double n = a + b;
+  const double expected = 2.0 * a * b / n + 1.0;
+  const double variance =
+      2.0 * a * b * (2.0 * a * b - n) / (n * n * (n - 1.0));
+  if (variance <= 0.0) {
+    throw std::invalid_argument("loss_runs_test_z: degenerate variance");
+  }
+  return (static_cast<double>(runs) - expected) / std::sqrt(variance);
+}
+
+double fec_recoverable_fraction(std::span<const std::uint8_t> losses,
+                                std::size_t k) {
+  const LossStats s = loss_stats(losses);
+  if (s.losses == 0) return 1.0;
+  std::size_t recoverable = 0;
+  for (std::size_t len = 1; len <= s.burst_length_counts.size(); ++len) {
+    if (len <= k) {
+      recoverable += s.burst_length_counts[len - 1] * len;
+    }
+  }
+  return static_cast<double>(recoverable) / static_cast<double>(s.losses);
+}
+
+FecPlan design_fec(std::span<const std::uint8_t> losses,
+                   double target_residual_loss, std::size_t max_k) {
+  if (target_residual_loss < 0.0) {
+    throw std::invalid_argument("design_fec: negative target");
+  }
+  const LossStats stats = loss_stats(losses);
+  FecPlan plan;
+  for (std::size_t k = 0; k <= max_k; ++k) {
+    const double recoverable =
+        k == 0 ? 0.0 : fec_recoverable_fraction(losses, k);
+    plan.k = k;
+    plan.residual_loss = stats.ulp * (1.0 - recoverable);
+    if (plan.residual_loss <= target_residual_loss) {
+      plan.feasible = true;
+      return plan;
+    }
+  }
+  plan.feasible = false;
+  return plan;
+}
+
+}  // namespace bolot::analysis

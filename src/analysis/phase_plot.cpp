@@ -1,0 +1,144 @@
+#include "analysis/phase_plot.h"
+
+#include <algorithm>
+#include <map>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "analysis/histogram.h"
+
+namespace bolot::analysis {
+
+PhasePlot build_phase_plot(const ProbeTrace& trace) {
+  PhasePlot plot;
+  const auto& records = trace.records;
+  for (std::size_t n = 0; n + 1 < records.size(); ++n) {
+    if (!records[n].received || !records[n + 1].received) continue;
+    plot.x.push_back(records[n].rtt.millis());
+    plot.y.push_back(records[n + 1].rtt.millis());
+  }
+  return plot;
+}
+
+PhaseAnalysis analyze_phase_plot(const ProbeTrace& trace,
+                                 const PhaseAnalysisOptions& options) {
+  const PhasePlot plot = build_phase_plot(trace);
+  if (plot.size() == 0) {
+    throw std::invalid_argument("analyze_phase_plot: no consecutive pairs");
+  }
+  const double delta_ms = trace.delta.millis();
+
+  PhaseAnalysis result;
+  result.fixed_delay_ms = std::numeric_limits<double>::infinity();
+  for (double v : plot.x) result.fixed_delay_ms = std::min(result.fixed_delay_ms, v);
+  for (double v : plot.y) result.fixed_delay_ms = std::min(result.fixed_delay_ms, v);
+
+  // Compression pairs satisfy rtt_n - rtt_{n+1} = delta - P/mu = c > 0.
+  // Collect the positive descents above min_intercept_fraction * delta
+  // (the mass near 0 belongs to the diagonal).
+  const double d_lo = options.min_intercept_fraction * delta_ms;
+  std::vector<double> candidates;
+  for (std::size_t i = 0; i < plot.size(); ++i) {
+    const double d = plot.x[i] - plot.y[i];
+    if (d > d_lo) candidates.push_back(d);
+  }
+
+  std::optional<double> intercept;
+  const double tick_ms = trace.clock_tick.millis();
+  if (!candidates.empty()) {
+    if (tick_ms > 0.0) {
+      // Quantized clocks make descents discrete (multiples of the tick);
+      // the true intercept's mass splits over exactly two adjacent tick
+      // values, so find the heaviest adjacent pair and average its
+      // samples — the centroid over both quantization images is
+      // unbiased.
+      std::map<std::int64_t, std::size_t> counts;
+      for (double d : candidates) {
+        ++counts[static_cast<std::int64_t>(std::llround(d * 1e3))];
+      }
+      const auto tick_us =
+          static_cast<std::int64_t>(std::llround(tick_ms * 1e3));
+      std::int64_t best_value = 0;
+      std::size_t best_count = 0;
+      for (const auto& [value_us, count] : counts) {
+        std::size_t pair = count;
+        const auto next = counts.find(value_us + tick_us);
+        if (next != counts.end()) pair += next->second;
+        if (pair > best_count) {
+          best_count = pair;
+          best_value = value_us;
+        }
+      }
+      if (static_cast<double>(best_count) >=
+          options.min_cluster_mass * static_cast<double>(plot.size())) {
+        const double lo = static_cast<double>(best_value) * 1e-3 - 1e-3;
+        const double hi = lo + tick_ms + 2e-3;
+        double sum = 0.0;
+        std::size_t count = 0;
+        for (double d : candidates) {
+          if (d > lo && d <= hi) {
+            sum += d;
+            ++count;
+          }
+        }
+        if (count > 0) intercept = sum / static_cast<double>(count);
+      }
+    } else {
+      // Exact clocks: modal bin of a fine histogram, then the centroid of
+      // the samples in that bin and its neighbors.
+      Histogram descents(
+          d_lo, delta_ms,
+          std::max<std::size_t>(
+              8, static_cast<std::size_t>((delta_ms - d_lo) /
+                                          options.histogram_bin_ms)));
+      for (double d : candidates) descents.add(d);
+      double best_mass = 0.0;
+      std::optional<double> modal;
+      for (std::size_t bin = 0; bin < descents.bin_count(); ++bin) {
+        const double mass = static_cast<double>(descents.count(bin)) /
+                            static_cast<double>(plot.size());
+        if (mass > best_mass && mass >= options.min_cluster_mass) {
+          best_mass = mass;
+          modal = descents.bin_center(bin);
+        }
+      }
+      if (modal) {
+        double sum = 0.0;
+        std::size_t count = 0;
+        for (double d : candidates) {
+          if (std::abs(d - *modal) <= descents.bin_width()) {
+            sum += d;
+            ++count;
+          }
+        }
+        if (count > 0) intercept = sum / static_cast<double>(count);
+      }
+    }
+  }
+
+  if (intercept) {
+    result.compression_intercept_ms = *intercept;
+    const double service_ms = delta_ms - *intercept;  // P/mu
+    if (service_ms > 0.0) {
+      result.bottleneck_bps =
+          static_cast<double>(trace.probe_wire_bytes * 8) / (service_ms * 1e-3);
+    }
+  }
+
+  // Band memberships.
+  std::size_t on_line = 0;
+  std::size_t on_diagonal = 0;
+  for (std::size_t i = 0; i < plot.size(); ++i) {
+    const double d = plot.x[i] - plot.y[i];
+    if (intercept && std::abs(d - *intercept) <= options.tolerance_ms) ++on_line;
+    if (std::abs(d) <= options.tolerance_ms) ++on_diagonal;
+  }
+  result.compression_fraction =
+      static_cast<double>(on_line) / static_cast<double>(plot.size());
+  result.diagonal_fraction =
+      static_cast<double>(on_diagonal) / static_cast<double>(plot.size());
+  return result;
+}
+
+}  // namespace bolot::analysis

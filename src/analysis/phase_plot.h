@@ -1,0 +1,65 @@
+// Phase-plot analysis (paper section 4).
+//
+// A phase plot draws a marker at (rtt_n, rtt_{n+1}).  The paper shows that
+// probe compression puts points on the line rtt_{n+1} = rtt_n + P/mu - delta,
+// whose x-intercept delta - P/mu yields the bottleneck bandwidth mu, and
+// that the minimum-delay corner estimates the fixed round-trip delay D.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "analysis/probe_trace.h"
+#include "util/time.h"
+
+namespace bolot::analysis {
+
+/// The (rtt_n, rtt_{n+1}) point cloud in milliseconds, built from pairs of
+/// consecutively *received* probes (a lost probe breaks the pair, matching
+/// the paper's plots where rtt = 0 points fall on the axes).
+struct PhasePlot {
+  std::vector<double> x;  // rtt_n
+  std::vector<double> y;  // rtt_{n+1}
+
+  std::size_t size() const { return x.size(); }
+};
+
+PhasePlot build_phase_plot(const ProbeTrace& trace);
+
+struct PhaseAnalysis {
+  double fixed_delay_ms = 0.0;       // D-hat: minimum observed rtt
+  /// x-intercept of the compression line, delta - P/mu, in ms; unset when
+  /// no compression cluster was found (e.g. large delta, Fig. 4).
+  std::optional<double> compression_intercept_ms;
+  /// mu-hat in bit/s, derived from the intercept; unset with the above.
+  std::optional<double> bottleneck_bps;
+  /// Fraction of phase points within `tolerance_ms` of the compression
+  /// line (the paper's indicator that probes accumulate behind cross
+  /// traffic).
+  double compression_fraction = 0.0;
+  /// Fraction of points within `tolerance_ms` of the diagonal y = x.
+  double diagonal_fraction = 0.0;
+};
+
+struct PhaseAnalysisOptions {
+  /// Band half-width around each line.  The default covers +-1 tick of
+  /// the paper's 3.906 ms source clock, which spreads clusters over
+  /// adjacent ticks.
+  double tolerance_ms = 4.0;
+  double histogram_bin_ms = 1.0;
+  /// Compression cluster is searched among rtt_n - rtt_{n+1} values above
+  /// this fraction of delta (below it, the mass near 0 from the diagonal
+  /// dominates).
+  double min_intercept_fraction = 0.3;
+  /// Minimum fraction of pairs in the modal bin to accept a compression
+  /// cluster.
+  double min_cluster_mass = 0.01;
+};
+
+/// Analyzes a trace directly (uses trace.delta and trace.probe_wire_bytes
+/// for the mu-hat computation).
+PhaseAnalysis analyze_phase_plot(const ProbeTrace& trace,
+                                 const PhaseAnalysisOptions& options = {});
+
+}  // namespace bolot::analysis

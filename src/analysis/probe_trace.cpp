@@ -1,0 +1,36 @@
+#include "analysis/probe_trace.h"
+
+namespace bolot::analysis {
+
+std::size_t ProbeTrace::received_count() const {
+  std::size_t n = 0;
+  for (const auto& r : records) n += r.received ? 1 : 0;
+  return n;
+}
+
+std::vector<double> ProbeTrace::rtt_ms_with_losses() const {
+  std::vector<double> out;
+  out.reserve(records.size());
+  for (const auto& r : records) {
+    out.push_back(r.received ? r.rtt.millis() : 0.0);
+  }
+  return out;
+}
+
+std::vector<double> ProbeTrace::rtt_ms_received() const {
+  std::vector<double> out;
+  out.reserve(records.size());
+  for (const auto& r : records) {
+    if (r.received) out.push_back(r.rtt.millis());
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> ProbeTrace::loss_indicators() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(records.size());
+  for (const auto& r : records) out.push_back(r.received ? 0 : 1);
+  return out;
+}
+
+}  // namespace bolot::analysis

@@ -1,0 +1,82 @@
+#include "analysis/spectral.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "analysis/stats.h"
+
+namespace bolot::analysis {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n == 0 || (n & (n - 1)) != 0) {
+    throw std::invalid_argument("fft: size must be a power of two");
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1 : -1);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : data) x /= static_cast<double>(n);
+  }
+}
+
+std::vector<PeriodogramPoint> periodogram(std::span<const double> xs) {
+  if (xs.size() < 4) {
+    throw std::invalid_argument("periodogram: need at least 4 samples");
+  }
+  const Summary s = summarize(xs);
+  const std::size_t n = next_pow2(xs.size());
+  std::vector<std::complex<double>> data(n, 0.0);
+  for (std::size_t i = 0; i < xs.size(); ++i) data[i] = xs[i] - s.mean;
+  fft(data);
+  std::vector<PeriodogramPoint> out;
+  out.reserve(n / 2);
+  for (std::size_t k = 1; k <= n / 2; ++k) {
+    PeriodogramPoint pt;
+    pt.frequency = static_cast<double>(k) / static_cast<double>(n);
+    pt.power = std::norm(data[k]) / static_cast<double>(xs.size());
+    out.push_back(pt);
+  }
+  return out;
+}
+
+double dominant_frequency(std::span<const double> xs) {
+  const auto pgram = periodogram(xs);
+  double best_power = -1.0;
+  double best_freq = 0.0;
+  for (const auto& pt : pgram) {
+    if (pt.power > best_power) {
+      best_power = pt.power;
+      best_freq = pt.frequency;
+    }
+  }
+  return best_freq;
+}
+
+}  // namespace bolot::analysis

@@ -1,0 +1,38 @@
+// Spectral analysis of delay series.
+//
+// Mukherjee's study (cited in section 1) found a clear diurnal cycle in a
+// spectral analysis of average delays; the paper positions its probe runs
+// as the short-time-scale complement.  We provide a radix-2 FFT and a
+// periodogram so the same analysis can be run on traces produced here.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace bolot::analysis {
+
+/// In-place iterative radix-2 Cooley-Tukey FFT.  data.size() must be a
+/// power of two.  `inverse` applies the conjugate transform and divides
+/// by N.
+void fft(std::vector<std::complex<double>>& data, bool inverse = false);
+
+/// Next power of two >= n (n >= 1).
+std::size_t next_pow2(std::size_t n);
+
+struct PeriodogramPoint {
+  double frequency = 0.0;  // cycles per sample
+  double power = 0.0;
+};
+
+/// One-sided periodogram of a real series: the series is mean-removed and
+/// zero-padded to a power of two; frequencies are cycles per sample
+/// (multiply by the sampling rate for Hz).  Output excludes the DC bin.
+std::vector<PeriodogramPoint> periodogram(std::span<const double> xs);
+
+/// Frequency (cycles/sample) of the strongest periodogram component.
+/// Throws on series shorter than 4 samples.
+double dominant_frequency(std::span<const double> xs);
+
+}  // namespace bolot::analysis

@@ -1,0 +1,86 @@
+#include "analysis/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bolot::analysis {
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  // Welford's online algorithm: numerically stable single pass.
+  double mean = 0.0;
+  double m2 = 0.0;
+  double lo = xs[0];
+  double hi = xs[0];
+  std::size_t n = 0;
+  for (double x : xs) {
+    ++n;
+    const double delta = x - mean;
+    mean += delta / static_cast<double>(n);
+    m2 += delta * (x - mean);
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  s.mean = mean;
+  s.variance = n > 1 ? m2 / static_cast<double>(n - 1) : 0.0;
+  s.stddev = std::sqrt(s.variance);
+  s.min = lo;
+  s.max = hi;
+  return s;
+}
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) throw std::invalid_argument("quantile: empty sample");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q not in [0,1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+std::vector<double> autocorrelation(std::span<const double> xs,
+                                    std::size_t max_lag) {
+  if (xs.empty()) throw std::invalid_argument("autocorrelation: empty sample");
+  const Summary s = summarize(xs);
+  const double n = static_cast<double>(xs.size());
+  const double denom = s.variance * (n - 1.0);  // sum of squared deviations
+  if (denom <= 0.0) {
+    throw std::invalid_argument("autocorrelation: constant sample");
+  }
+  max_lag = std::min(max_lag, xs.size() - 1);
+  std::vector<double> acf(max_lag + 1, 0.0);
+  for (std::size_t lag = 0; lag <= max_lag; ++lag) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i + lag < xs.size(); ++i) {
+      sum += (xs[i] - s.mean) * (xs[i + lag] - s.mean);
+    }
+    acf[lag] = sum / denom;
+  }
+  return acf;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) throw std::invalid_argument("pearson: size mismatch");
+  if (xs.empty()) throw std::invalid_argument("pearson: empty sample");
+  const Summary sx = summarize(xs);
+  const Summary sy = summarize(ys);
+  if (sx.stddev <= 0.0 || sy.stddev <= 0.0) {
+    throw std::invalid_argument("pearson: zero-variance sample");
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sum += (xs[i] - sx.mean) * (ys[i] - sy.mean);
+  }
+  const double n = static_cast<double>(xs.size());
+  return sum / ((n - 1.0) * sx.stddev * sy.stddev);
+}
+
+}  // namespace bolot::analysis

@@ -1,0 +1,143 @@
+#include "model/stationary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bolot::model {
+
+StationaryDistribution::StationaryDistribution(std::vector<double> pmf,
+                                               double grid_ms,
+                                               std::size_t iterations)
+    : pmf_(std::move(pmf)), grid_ms_(grid_ms), iterations_(iterations) {}
+
+double StationaryDistribution::mean_ms() const {
+  double mean = 0.0;
+  for (std::size_t i = 0; i < pmf_.size(); ++i) {
+    mean += pmf_[i] * static_cast<double>(i) * grid_ms_;
+  }
+  return mean;
+}
+
+double StationaryDistribution::quantile_ms(double q) const {
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("quantile_ms: q outside [0, 1]");
+  }
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < pmf_.size(); ++i) {
+    const double next = cumulative + pmf_[i];
+    if (next >= q) {
+      const double frac =
+          pmf_[i] > 0.0 ? (q - cumulative) / pmf_[i] : 0.0;
+      return (static_cast<double>(i) + frac - 0.5) * grid_ms_;
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(pmf_.size() - 1) * grid_ms_;
+}
+
+double StationaryDistribution::tail_probability(double w_ms) const {
+  double tail = 0.0;
+  for (std::size_t i = 0; i < pmf_.size(); ++i) {
+    if (static_cast<double>(i) * grid_ms_ >= w_ms) tail += pmf_[i];
+  }
+  return tail;
+}
+
+namespace {
+
+/// Deposits `mass` at continuous grid position `pos` (in cells) by linear
+/// interpolation between the two neighboring cells.
+void deposit(std::vector<double>& pmf, double pos, double mass) {
+  if (pos <= 0.0) {
+    pmf[0] += mass;
+    return;
+  }
+  const auto last = static_cast<double>(pmf.size() - 1);
+  if (pos >= last) {
+    pmf.back() += mass;
+    return;
+  }
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  pmf[lo] += mass * (1.0 - frac);
+  pmf[lo + 1] += mass * frac;
+}
+
+}  // namespace
+
+StationaryDistribution solve_stationary_waits(
+    const ModelConfig& config, const std::vector<BatchAtom>& batch_pmf,
+    const StationaryOptions& options) {
+  if (config.mu_bps <= 0.0 || config.probe_bits <= 0 ||
+      config.delta <= Duration::zero()) {
+    throw std::invalid_argument("solve_stationary_waits: bad model config");
+  }
+  if (options.grid_ms <= 0.0 || options.max_iterations == 0) {
+    throw std::invalid_argument("solve_stationary_waits: bad options");
+  }
+  if (batch_pmf.empty()) {
+    throw std::invalid_argument("solve_stationary_waits: empty batch pmf");
+  }
+  double total_probability = 0.0;
+  for (const auto& [bits, probability] : batch_pmf) {
+    if (bits < 0.0 || probability < 0.0) {
+      throw std::invalid_argument(
+          "solve_stationary_waits: negative atom in batch pmf");
+    }
+    total_probability += probability;
+  }
+  if (std::abs(total_probability - 1.0) > 1e-6) {
+    throw std::invalid_argument(
+        "solve_stationary_waits: batch probabilities must sum to 1");
+  }
+
+  const double delta_ms = config.delta.millis();
+  const double service_ms =
+      static_cast<double>(config.probe_bits) / config.mu_bps * 1e3;
+  const double buffer_ms = static_cast<double>(config.buffer_packets) *
+                           static_cast<double>(config.batch_packet_bits) /
+                           config.mu_bps * 1e3;
+  const double h = options.grid_ms;
+  const auto cells = static_cast<std::size_t>(std::ceil(buffer_ms / h)) + 2;
+
+  std::vector<double> phases;
+  if (config.batch_phase < 0.0) {
+    phases = {0.1, 0.3, 0.5, 0.7, 0.9};
+  } else {
+    phases = {config.batch_phase};
+  }
+
+  std::vector<double> pmf(cells, 0.0);
+  pmf[0] = 1.0;  // start empty
+  std::vector<double> next(cells, 0.0);
+  std::size_t iterations = 0;
+  for (; iterations < options.max_iterations; ++iterations) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t i = 0; i < cells; ++i) {
+      const double mass = pmf[i];
+      if (mass == 0.0) continue;
+      const double w_ms = static_cast<double>(i) * h;
+      for (const double phase : phases) {
+        const double phase_mass = mass / static_cast<double>(phases.size());
+        const double before_batch =
+            std::max(0.0, w_ms + service_ms - phase * delta_ms);
+        for (const auto& [bits, probability] : batch_pmf) {
+          const double batch_ms = bits / config.mu_bps * 1e3;
+          const double with_batch =
+              std::min(buffer_ms, before_batch + batch_ms);
+          const double w_next =
+              std::max(0.0, with_batch - (1.0 - phase) * delta_ms);
+          deposit(next, w_next / h, phase_mass * probability);
+        }
+      }
+    }
+    double l1 = 0.0;
+    for (std::size_t i = 0; i < cells; ++i) l1 += std::abs(next[i] - pmf[i]);
+    pmf.swap(next);
+    if (l1 < options.tolerance) break;
+  }
+  return StationaryDistribution(std::move(pmf), h, iterations + 1);
+}
+
+}  // namespace bolot::model

@@ -1,0 +1,67 @@
+// Numerical analysis of the Fig.-3 model (the paper's section-6 program:
+// "the probe arrival process is deterministic and the Internet arrival
+// process is batch deterministic and the batch size distribution is
+// general ... we are currently continuing the analysis of this model").
+//
+// Instead of Monte Carlo (run_model), this computes the *stationary
+// waiting-time distribution* of the probe stream directly: the waiting
+// time seen by successive probes is a Markov chain on [0, w_max]; we
+// discretize it on a uniform grid and iterate the transition operator to
+// its fixed point.  One Lindley step per probe interval:
+//
+//   w' = max(0, max(0, w + P/mu - f*delta) + b/mu - (1-f)*delta)
+//
+// with b drawn from a general (discrete) batch distribution and f the
+// batch phase.  The backlog is clipped at the buffer's work capacity (a
+// fluid view of the finite buffer, cf. bolot_model.cpp's packet view).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "model/bolot_model.h"
+
+namespace bolot::model {
+
+/// A probability atom of the batch-size distribution: (bits, probability).
+using BatchAtom = std::pair<double, double>;
+
+struct StationaryOptions {
+  double grid_ms = 0.5;         // waiting-time discretization
+  std::size_t max_iterations = 2000;
+  double tolerance = 1e-10;     // L1 distance between successive pmfs
+};
+
+class StationaryDistribution {
+ public:
+  StationaryDistribution(std::vector<double> pmf, double grid_ms,
+                         std::size_t iterations);
+
+  const std::vector<double>& pmf() const { return pmf_; }
+  double grid_ms() const { return grid_ms_; }
+  std::size_t iterations() const { return iterations_; }
+
+  double mean_ms() const;
+  /// q in [0, 1]; linear within the grid cell.
+  double quantile_ms(double q) const;
+  /// P(wait >= w_ms).
+  double tail_probability(double w_ms) const;
+
+ private:
+  std::vector<double> pmf_;
+  double grid_ms_;
+  std::size_t iterations_;
+};
+
+/// Solves for the stationary probe waiting-time distribution of the model
+/// described by `config` (mu_bps, probe_bits, delta, batch_phase — a
+/// negative phase is averaged over {0.1, 0.3, 0.5, 0.7, 0.9}; buffer via
+/// buffer_packets * batch_packet_bits of work).  `batch_pmf` atoms must
+/// have non-negative bits and probabilities summing to ~1.
+/// Throws std::invalid_argument on malformed input.
+StationaryDistribution solve_stationary_waits(
+    const ModelConfig& config, const std::vector<BatchAtom>& batch_pmf,
+    const StationaryOptions& options = {});
+
+}  // namespace bolot::model

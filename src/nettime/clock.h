@@ -1,0 +1,61 @@
+// Clock abstractions used by both the real-socket prober and the simulator.
+//
+// The paper's source host was a DECstation 5000 with a 3.906 ms clock
+// resolution, which produces the visible banding in its phase plots
+// (Figs. 5-6).  QuantizedClock reproduces that behaviour on top of any
+// underlying clock.
+#pragma once
+
+#include <memory>
+
+#include "util/time.h"
+
+namespace bolot {
+
+/// A monotonic clock returning time since an arbitrary (fixed) epoch.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual Duration now() const = 0;
+};
+
+/// Wraps the POSIX CLOCK_MONOTONIC high-resolution clock.
+class SystemClock final : public Clock {
+ public:
+  Duration now() const override;
+};
+
+/// A manually advanced clock for tests and simulation-backed measurement.
+class ManualClock final : public Clock {
+ public:
+  Duration now() const override { return current_; }
+  void advance(Duration delta) { current_ += delta; }
+  void set(Duration t) { current_ = t; }
+
+ private:
+  Duration current_;
+};
+
+/// Floors readings of an underlying clock to a multiple of `tick`,
+/// emulating a coarse hardware clock such as the paper's DECstation 5000
+/// (tick = 3.906 ms) or the UMd host (tick ~ 3 ms).
+class QuantizedClock final : public Clock {
+ public:
+  /// `base` must outlive this object.
+  QuantizedClock(const Clock& base, Duration tick);
+
+  Duration now() const override;
+  Duration tick() const { return tick_; }
+
+  /// Quantization as a pure function, usable on already-recorded samples.
+  static Duration quantize(Duration t, Duration tick);
+
+ private:
+  const Clock& base_;
+  Duration tick_;
+};
+
+/// The paper's DECstation 5000 clock tick.
+inline constexpr Duration kDecstationTick = Duration::micros(3906.0);
+
+}  // namespace bolot

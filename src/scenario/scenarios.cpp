@@ -1,0 +1,359 @@
+#include "scenario/scenarios.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "nettime/clock.h"
+#include "sim/simulator.h"
+#include "sim/traffic.h"
+#include "sim/udp_echo.h"
+
+namespace bolot::scenario {
+
+namespace {
+
+/// One hop of the probe path.
+struct HopSpec {
+  double rate_bps;
+  Duration propagation;
+  std::size_t buffer_packets;
+  double random_drop = 0.0;  // faulty-interface loss per traversal
+  std::optional<sim::RedConfig> red;
+};
+
+struct ChainSpec {
+  std::vector<std::string> names;  // path nodes, source first
+  std::vector<HopSpec> hops;       // names.size() - 1 entries
+  std::size_t bottleneck_hop = 0;  // index into hops
+  Duration source_clock_tick;      // zero = exact clock
+};
+
+/// Warm-up before the probe run so cross traffic reaches steady state, and
+/// drain afterwards so in-flight echoes are counted.
+constexpr Duration kWarmup = Duration::seconds(5);
+constexpr Duration kDrain = Duration::seconds(2);
+
+ScenarioResult run_chain(const ChainSpec& spec, const ProbePlan& plan,
+                         const CrossTraffic& cross) {
+  if (spec.names.size() < 2 || spec.hops.size() + 1 != spec.names.size()) {
+    throw std::invalid_argument("run_chain: inconsistent chain spec");
+  }
+
+  sim::Simulator simulator;
+  sim::Network net(simulator, plan.seed);
+
+  // Path nodes and links.
+  std::vector<sim::NodeId> path;
+  path.reserve(spec.names.size());
+  for (const auto& name : spec.names) path.push_back(net.add_node(name));
+  for (std::size_t h = 0; h < spec.hops.size(); ++h) {
+    const HopSpec& hop = spec.hops[h];
+    sim::LinkConfig config;
+    config.name = spec.names[h] + "->" + spec.names[h + 1];
+    config.rate_bps = hop.rate_bps;
+    config.propagation = hop.propagation;
+    config.buffer_packets = hop.buffer_packets;
+    config.random_drop_probability = hop.random_drop;
+    config.red = hop.red;
+    net.add_duplex_link(path[h], path[h + 1], config);
+  }
+
+  // Cross-traffic hosts hang off the two bottleneck routers via fast access
+  // links, so their packets traverse exactly the bottleneck link.
+  const sim::NodeId upstream = path[spec.bottleneck_hop];
+  const sim::NodeId downstream = path[spec.bottleneck_hop + 1];
+  const double mu = spec.hops[spec.bottleneck_hop].rate_bps;
+
+  sim::LinkConfig access;
+  access.name = "cross-access";
+  access.rate_bps = std::max(10e6, mu * 10.0);
+  access.propagation = Duration::micros(100);
+  access.buffer_packets = 2000;
+  const sim::NodeId host_up = net.add_node("cross-host-upstream");
+  const sim::NodeId host_down = net.add_node("cross-host-downstream");
+  net.add_duplex_link(host_up, upstream, access);
+  net.add_duplex_link(host_down, downstream, access);
+
+  Rng rng(plan.seed ^ 0xC0FFEE);
+  std::vector<std::unique_ptr<sim::TrafficSource>> sources;
+  std::uint32_t next_flow = 1;
+
+  const auto add_direction = [&](sim::NodeId from, sim::NodeId to,
+                                 double scale) {
+    const double session_bps = cross.session_load * mu * scale;
+    if (session_bps > 0.0) {
+      sim::FtpSessionConfig session;
+      session.mean_session = cross.mean_session;
+      session.pace_load = cross.session_pace;
+      session.bottleneck_bps = mu;
+      session.packet_bytes = cross.bulk_packet_bytes;
+      // mean_idle chosen so the long-run average share is session_load:
+      // on_fraction = session_load * scale / session_pace.
+      const double on_fraction =
+          std::min(0.95, cross.session_load * scale / cross.session_pace);
+      session.mean_idle =
+          cross.mean_session * ((1.0 - on_fraction) / on_fraction);
+      sources.push_back(std::make_unique<sim::FtpSessionSource>(
+          simulator, net, from, to, next_flow++, sim::PacketKind::kBulk,
+          rng.split(), session));
+    }
+    const double bulk_bps = cross.bulk_load * mu * scale;
+    if (bulk_bps > 0.0) {
+      const double burst_bits =
+          cross.mean_burst_packets *
+          static_cast<double>(cross.bulk_packet_bytes * 8);
+      sim::BurstConfig burst;
+      burst.mean_burst_gap = Duration::seconds(burst_bits / bulk_bps);
+      burst.mean_burst_packets = cross.mean_burst_packets;
+      burst.packet_bytes = cross.bulk_packet_bytes;
+      // Bursts are clocked out at the access rate, i.e. effectively
+      // back-to-back as seen by the (much slower) bottleneck.
+      burst.in_burst_spacing = transmission_time(
+          cross.bulk_packet_bytes * 8, access.rate_bps);
+      sources.push_back(std::make_unique<sim::BurstSource>(
+          simulator, net, from, to, next_flow++, sim::PacketKind::kBulk,
+          rng.split(), burst));
+    }
+    const double interactive_bps = cross.interactive_load * mu * scale;
+    if (interactive_bps > 0.0) {
+      const double pkt_bits =
+          static_cast<double>(cross.interactive_packet_bytes * 8);
+      sources.push_back(std::make_unique<sim::PoissonSource>(
+          simulator, net, from, to, next_flow++,
+          sim::PacketKind::kInteractive, rng.split(),
+          Duration::seconds(pkt_bits / interactive_bps),
+          cross.interactive_packet_bytes));
+    }
+  };
+  add_direction(host_up, host_down, 1.0);
+  add_direction(host_down, host_up, cross.reverse_scale);
+
+  // NetDyn endpoints: source at the head of the chain, echo at the tail.
+  sim::EchoHost echo(simulator, net, path.back());
+  sim::ProbeSourceConfig probe_config;
+  probe_config.delta = plan.delta;
+  probe_config.probe_wire_bytes = plan.probe_wire_bytes;
+  probe_config.probe_count = plan.probe_count();
+  if (spec.source_clock_tick > Duration::zero()) {
+    probe_config.clock_tick = spec.source_clock_tick;
+  }
+  sim::UdpEchoSource probe_source(simulator, net, path.front(), path.back(),
+                                  probe_config);
+
+  net.compute_routes();
+  for (auto& source : sources) {
+    // Stagger starts so sources do not phase-lock on the first event.
+    source->start(Duration::millis(rng.uniform(0.0, 100.0)));
+  }
+  probe_source.start(kWarmup);
+
+  const Duration end = kWarmup + plan.duration + kDrain;
+  simulator.run_until(end);
+
+  ScenarioResult result;
+  result.trace = probe_source.trace();
+  result.route = net.traceroute(path.front(), path.back());
+  result.bottleneck_forward = net.link(upstream, downstream).stats();
+  result.bottleneck_reverse = net.link(downstream, upstream).stats();
+  result.total_overflow_drops = net.total_overflow_drops();
+  result.total_random_drops = net.total_random_drops();
+  result.simulated = end;
+  result.events = simulator.events_dispatched();
+  return result;
+}
+
+ChainSpec inria_umd_spec(const ScenarioOverrides& overrides) {
+  ChainSpec spec;
+  spec.names = inria_umd_route_names();
+  // Rates/propagations chosen so the fixed round-trip delay is ~140 ms
+  // (Fig. 2) with the 128 kb/s transatlantic hop as bottleneck (Table 1).
+  spec.hops = {
+      {10e6, Duration::millis(0.2), 100, 0.0, {}},    // tom -> t8-gw
+      {10e6, Duration::millis(0.3), 100, 0.0, {}},    // t8-gw -> sophia-gw
+      {2e6, Duration::millis(1.0), 80, 0.0, {}},      // sophia-gw -> icm-sophia
+      {128e3, Duration::millis(52.0), 14, 0.0, {}},   // transatlantic (bottleneck)
+      {45e6, Duration::millis(0.1), 200, 0.0, {}},    // Ithaca NSS internal
+      {1.544e6, Duration::millis(8.0), 60, 0.0, {}},  // NSS -> SURAnet
+      {1.544e6, Duration::millis(2.0), 60, 0.011, {}},  // SURAnet (faulty card)
+      {10e6, Duration::millis(0.3), 100, 0.011, {}},    // SURAnet -> UMd (faulty)
+      {10e6, Duration::millis(0.2), 100, 0.0, {}},    // UMd campus
+  };
+  spec.bottleneck_hop = 3;
+  spec.source_clock_tick = kDecstationTick;  // DECstation 5000
+
+  if (overrides.bottleneck_bps) {
+    spec.hops[spec.bottleneck_hop].rate_bps = *overrides.bottleneck_bps;
+  }
+  if (overrides.bottleneck_buffer_packets) {
+    spec.hops[spec.bottleneck_hop].buffer_packets =
+        *overrides.bottleneck_buffer_packets;
+  }
+  if (overrides.bottleneck_red) {
+    spec.hops[spec.bottleneck_hop].red = *overrides.bottleneck_red;
+  }
+  if (overrides.faulty_interface_drop) {
+    spec.hops[6].random_drop = *overrides.faulty_interface_drop;
+    spec.hops[7].random_drop = *overrides.faulty_interface_drop;
+  }
+  if (overrides.clock_tick) spec.source_clock_tick = *overrides.clock_tick;
+  return spec;
+}
+
+ChainSpec umd_pitt_spec(const ScenarioOverrides& overrides) {
+  ChainSpec spec;
+  spec.names = umd_pitt_route_names();
+  // The T3 backbone is fast; the Pittsburgh campus Ethernet is the
+  // bottleneck ("very likely that the bottleneck bandwidth is much higher
+  // than ... 128 kb/s").  Fixed RTT ~ 25 ms.
+  spec.hops = {
+      {10e6, Duration::millis(0.2), 100, 0.0, {}},   // lena -> avw1hub
+      {10e6, Duration::millis(0.2), 100, 0.0, {}},   // avw1hub -> csc2hub
+      {10e6, Duration::millis(0.3), 100, 0.0, {}},   // csc2hub -> 192.221.38.5
+      {45e6, Duration::millis(0.5), 200, 0.0, {}},   // -> enss136
+      {45e6, Duration::millis(1.0), 200, 0.0, {}},   // -> DC cnss58
+      {45e6, Duration::millis(0.3), 200, 0.0, {}},   // -> DC cnss56
+      {45e6, Duration::millis(2.5), 200, 0.0, {}},   // -> New York cnss32
+      {45e6, Duration::millis(4.0), 200, 0.0, {}},   // -> Cleveland cnss40
+      {45e6, Duration::millis(0.3), 200, 0.0, {}},   // -> Cleveland cnss41
+      {45e6, Duration::millis(1.5), 200, 0.0, {}},   // -> enss132
+      {10e6, Duration::millis(0.5), 60, 0.0, {}},    // -> externals.gw.pitt.edu
+      {10e6, Duration::millis(0.3), 60, 0.0, {}},    // -> 136.142.2.54 (bottleneck)
+      {10e6, Duration::millis(0.2), 60, 0.0, {}},    // -> hub-eh.gw.pitt.edu
+  };
+  spec.bottleneck_hop = 11;
+  spec.source_clock_tick = kUmdPittClockTick;
+
+  if (overrides.bottleneck_bps) {
+    spec.hops[spec.bottleneck_hop].rate_bps = *overrides.bottleneck_bps;
+  }
+  if (overrides.bottleneck_buffer_packets) {
+    spec.hops[spec.bottleneck_hop].buffer_packets =
+        *overrides.bottleneck_buffer_packets;
+  }
+  if (overrides.bottleneck_red) {
+    spec.hops[spec.bottleneck_hop].red = *overrides.bottleneck_red;
+  }
+  if (overrides.faulty_interface_drop) {
+    spec.hops[10].random_drop = *overrides.faulty_interface_drop;
+  }
+  if (overrides.clock_tick) spec.source_clock_tick = *overrides.clock_tick;
+  return spec;
+}
+
+}  // namespace
+
+const std::vector<std::string>& inria_umd_route_names() {
+  static const std::vector<std::string> names = {
+      "tom.inria.fr",          "t8-gw.inria.fr",
+      "sophia-gw.atlantic.fr", "icm-sophia.icp.net",
+      "Ithaca.NY.NSS.NSF.NET", "Ithaca1.NY.NSS.NSF.NET",
+      "nss-SURA-eth.sura.net", "sura8-umd-c1.sura.net",
+      "csc2hub-gw.umd.edu",    "avwhub-gw.umd.edu",
+  };
+  return names;
+}
+
+const std::vector<std::string>& inria_europe_route_names() {
+  static const std::vector<std::string> names = {
+      "tom.inria.fr",        "t8-gw.inria.fr", "sophia-gw.atlantic.fr",
+      "paris-gw.renater.fr", "geneva-gw.switch.ch",
+      "ezinfo.ethz.ch",
+  };
+  return names;
+}
+
+const std::vector<std::string>& umd_pitt_route_names() {
+  static const std::vector<std::string> names = {
+      "lena.cs.umd.edu",
+      "avw1hub-gw.umd.edu",
+      "csc2hub-gw.umd.edu",
+      "192.221.38.5",
+      "en-0.enss136.t3.nsf.net",
+      "t3-1.Washington-DC-cnss58.t3.ans.net",
+      "t3-3.Washington-DC-cnss56.t3.ans.net",
+      "t3-0.New-York-cnss32.t3.ans.net",
+      "t3-1.Cleveland-cnss40.t3.ans.net",
+      "t3-0.Cleveland-cnss41.t3.ans.net",
+      "t3-0.enss132.t3.ans.net",
+      "externals.gw.pitt.edu",
+      "136.142.2.54",
+      "hub-eh.gw.pitt.edu",
+  };
+  return names;
+}
+
+ScenarioResult run_inria_umd(const ProbePlan& plan,
+                             const ScenarioOverrides& overrides) {
+  const ChainSpec spec = inria_umd_spec(overrides);
+  const CrossTraffic cross = overrides.cross_traffic.value_or(CrossTraffic{});
+  return run_chain(spec, plan, cross);
+}
+
+ChainSpec inria_europe_spec(const ScenarioOverrides& overrides) {
+  ChainSpec spec;
+  spec.names = inria_europe_route_names();
+  // Six hops inside Europe; the 2 Mb/s national backbone segment is the
+  // bottleneck.  Fixed RTT ~ 45 ms.
+  spec.hops = {
+      {10e6, Duration::millis(0.3), 100, 0.0, {}},   // tom -> t8-gw
+      {10e6, Duration::millis(0.5), 100, 0.0, {}},   // t8-gw -> sophia-gw
+      {2e6, Duration::millis(8.0), 30, 0.0, {}},     // national backbone (bneck)
+      {2e6, Duration::millis(9.0), 60, 0.004, {}},   // cross-border segment
+      {10e6, Duration::millis(2.0), 100, 0.0, {}},   // destination campus
+  };
+  spec.bottleneck_hop = 2;
+  spec.source_clock_tick = kDecstationTick;  // same INRIA source host
+
+  if (overrides.bottleneck_bps) {
+    spec.hops[spec.bottleneck_hop].rate_bps = *overrides.bottleneck_bps;
+  }
+  if (overrides.bottleneck_buffer_packets) {
+    spec.hops[spec.bottleneck_hop].buffer_packets =
+        *overrides.bottleneck_buffer_packets;
+  }
+  if (overrides.bottleneck_red) {
+    spec.hops[spec.bottleneck_hop].red = *overrides.bottleneck_red;
+  }
+  if (overrides.faulty_interface_drop) {
+    spec.hops[3].random_drop = *overrides.faulty_interface_drop;
+  }
+  if (overrides.clock_tick) spec.source_clock_tick = *overrides.clock_tick;
+  return spec;
+}
+
+ScenarioResult run_umd_pitt(const ProbePlan& plan,
+                            const ScenarioOverrides& overrides) {
+  const ChainSpec spec = umd_pitt_spec(overrides);
+  // Campus-Ethernet cross traffic: full-MTU packets and larger bursts
+  // (many concurrent flows share the 10 Mb/s segment), so probes queue
+  // for several ms and the delta = 8 ms compression line of Fig. 5
+  // appears.
+  CrossTraffic defaults;
+  defaults.session_load = 0.22;
+  defaults.bulk_load = 0.45;
+  defaults.mean_burst_packets = 30.0;
+  defaults.bulk_packet_bytes = 1500;
+  defaults.interactive_load = 0.08;
+  defaults.interactive_packet_bytes = 128;
+  const CrossTraffic cross = overrides.cross_traffic.value_or(defaults);
+  return run_chain(spec, plan, cross);
+}
+
+ScenarioResult run_inria_europe(const ProbePlan& plan,
+                                const ScenarioOverrides& overrides) {
+  const ChainSpec spec = inria_europe_spec(overrides);
+  // European mid-speed path: the same traffic families at intermediate
+  // intensity (the bottleneck is 16x faster than the transatlantic link,
+  // packets are the same sizes).
+  CrossTraffic defaults;
+  defaults.session_load = 0.30;
+  defaults.bulk_load = 0.30;
+  defaults.mean_burst_packets = 12.0;
+  defaults.interactive_load = 0.08;
+  const CrossTraffic cross = overrides.cross_traffic.value_or(defaults);
+  return run_chain(spec, plan, cross);
+}
+
+}  // namespace bolot::scenario

@@ -1,0 +1,115 @@
+// Canned experiment setups reproducing the paper's two measured paths:
+//
+//   * InriaUmd1992  — Table 1: ten hops from tom.inria.fr to the UMd echo
+//     host, with the 128 kb/s transatlantic link (icm-sophia <-> Ithaca)
+//     as bottleneck and a fixed round-trip delay of ~140 ms.  The source
+//     clock is a DECstation 5000 (3.906 ms resolution).
+//   * UmdPitt1993   — Table 2: fourteen hops UMd -> Pittsburgh over the
+//     T3 backbone; the bottleneck is a campus 10 Mb/s Ethernet and the
+//     source clock has ~3 ms resolution.
+//
+// Cross traffic ("the Internet stream") is a mix of bulk FTP-like bursts
+// (512-byte packets) and interactive Telnet-like packets, injected at the
+// bottleneck routers, matching the traffic mix the paper infers from its
+// measurements.  The SURAnet segment carries the random-drop stage that
+// models the faulty interface cards reported by Mishra & Sanghi.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/probe_trace.h"
+#include "sim/link.h"
+#include "sim/network.h"
+#include "util/time.h"
+
+namespace bolot::scenario {
+
+/// Probe-side parameters (what the operator of NetDyn chooses).
+struct ProbePlan {
+  Duration delta = Duration::millis(50);
+  Duration duration = Duration::minutes(10);
+  std::int64_t probe_wire_bytes = 72;  // 32-byte payload + UDP/IP headers
+  std::uint64_t seed = 1993;
+
+  std::uint64_t probe_count() const {
+    return static_cast<std::uint64_t>(duration / delta);
+  }
+};
+
+/// Cross-traffic intensity knobs, expressed as fractions of the bottleneck
+/// bandwidth so the same structure scales across scenarios.
+struct CrossTraffic {
+  /// Paced FTP sessions (ack-clocked transfers filling the bottleneck
+  /// while active): average share of bottleneck bandwidth, and the pace
+  /// they sustain while a session is on.  These create the 0/1/2-packet
+  /// per-interval workloads behind the paper's Fig.-8 peaks.
+  double session_load = 0.25;
+  double session_pace = 0.95;
+  Duration mean_session = Duration::seconds(8);
+  /// Open-loop window bursts (slow-start, batch applications): share of
+  /// bottleneck bandwidth and mean burst length.  These create the loss
+  /// bursts behind Table 3's clp >> ulp at small delta.
+  double bulk_load = 0.25;
+  double mean_burst_packets = 8.0;
+  double interactive_load = 0.10; // Telnet-like share, forward
+  double reverse_scale = 0.35;    // reverse-direction load multiplier
+  std::int64_t bulk_packet_bytes = 512;
+  std::int64_t interactive_packet_bytes = 64;
+};
+
+struct ScenarioOverrides {
+  std::optional<double> bottleneck_bps;
+  std::optional<std::size_t> bottleneck_buffer_packets;
+  /// RED at the bottleneck (both directions) instead of drop-tail.
+  std::optional<sim::RedConfig> bottleneck_red;
+  std::optional<double> faulty_interface_drop;  // per faulty link direction
+  std::optional<CrossTraffic> cross_traffic;
+  /// Clock quantization at the source host; nullopt keeps the scenario's
+  /// historically accurate tick, Duration::zero() disables quantization.
+  std::optional<Duration> clock_tick;
+};
+
+struct ScenarioResult {
+  analysis::ProbeTrace trace;
+  std::vector<sim::TracerouteHop> route;        // source -> echo host
+  sim::LinkStats bottleneck_forward;
+  sim::LinkStats bottleneck_reverse;
+  std::uint64_t total_overflow_drops = 0;
+  std::uint64_t total_random_drops = 0;
+  Duration simulated;
+  std::uint64_t events = 0;
+};
+
+/// Runs a NetDyn experiment over the INRIA -> UMd path of Table 1.
+ScenarioResult run_inria_umd(const ProbePlan& plan,
+                             const ScenarioOverrides& overrides = {});
+
+/// Runs a NetDyn experiment over the UMd -> Pittsburgh path of Table 2.
+ScenarioResult run_umd_pitt(const ProbePlan& plan,
+                            const ScenarioOverrides& overrides = {});
+
+/// A third path in the spirit of the paper's section 2 ("connections
+/// between INRIA and universities in Europe"): a short intra-European
+/// route with a 2 Mb/s national bottleneck.  Used to check the paper's
+/// claim that the INRIA->UMd observations "essentially hold for the other
+/// connections".
+ScenarioResult run_inria_europe(const ProbePlan& plan,
+                                const ScenarioOverrides& overrides = {});
+
+/// The hop names of Table 1 / Table 2 (source first), for the route bench
+/// and tests.
+const std::vector<std::string>& inria_umd_route_names();
+const std::vector<std::string>& umd_pitt_route_names();
+const std::vector<std::string>& inria_europe_route_names();
+
+/// Scenario constants, exposed for benches and tests.
+inline constexpr double kInriaUmdBottleneckBps = 128e3;
+inline constexpr Duration kInriaUmdFixedRtt = Duration::millis(140);
+inline constexpr double kUmdPittBottleneckBps = 10e6;
+inline constexpr Duration kUmdPittClockTick = Duration::millis(3);
+inline constexpr double kInriaEuropeBottleneckBps = 2e6;
+
+}  // namespace bolot::scenario

@@ -1,0 +1,47 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace bolot::sim {
+
+void EventHandle::cancel() {
+  if (cancelled_) *cancelled_ = true;
+}
+
+EventHandle EventQueue::schedule(SimTime at, EventFn fn) {
+  if (at < last_popped_) {
+    throw std::logic_error("EventQueue: scheduling into the past");
+  }
+  auto cancelled = std::make_shared<bool>(false);
+  heap_.push(Entry{at, next_seq_++, std::move(fn), cancelled});
+  return EventHandle(std::move(cancelled));
+}
+
+void EventQueue::purge_top() const {
+  while (!heap_.empty() && *heap_.top().cancelled) {
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const {
+  purge_top();
+  return heap_.empty();
+}
+
+SimTime EventQueue::next_time() const {
+  purge_top();
+  if (heap_.empty()) throw std::logic_error("EventQueue: next_time on empty");
+  return heap_.top().at;
+}
+
+EventQueue::PoppedEvent EventQueue::pop() {
+  purge_top();
+  if (heap_.empty()) throw std::logic_error("EventQueue: pop on empty");
+  PoppedEvent popped{heap_.top().at, heap_.top().fn};
+  heap_.pop();
+  last_popped_ = popped.at;
+  return popped;
+}
+
+}  // namespace bolot::sim

@@ -1,0 +1,85 @@
+// Deterministic discrete-event queue.
+//
+// Events at equal timestamps are dispatched in scheduling order (FIFO via a
+// monotonically increasing sequence number), so a simulation is a pure
+// function of its inputs and seed.  Cancellation is supported through lazy
+// deletion: cancelled events stay in the heap but are skipped on pop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/time.h"
+
+namespace bolot::sim {
+
+using EventFn = std::function<void()>;
+
+/// Token returned by schedule(); allows cancelling a pending event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancels the event if it has not fired yet.  Safe to call repeatedly
+  /// and after the event has fired (no-op).
+  void cancel();
+
+  bool valid() const { return cancelled_ != nullptr; }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> cancelled)
+      : cancelled_(std::move(cancelled)) {}
+
+  std::shared_ptr<bool> cancelled_;
+};
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `at`.  `at` must not precede the time
+  /// of the most recently popped event.
+  EventHandle schedule(SimTime at, EventFn fn);
+
+  /// True when no live (non-cancelled) event remains.
+  bool empty() const;
+
+  /// Time of the earliest pending event.  Requires !empty().
+  SimTime next_time() const;
+
+  struct PoppedEvent {
+    SimTime at;
+    EventFn fn;
+  };
+
+  /// Pops the earliest pending event without running it.  Requires
+  /// !empty().  The caller must advance its clock to `at` *before*
+  /// invoking `fn`, so that the callback schedules relative to the event's
+  /// own time.
+  PoppedEvent pop();
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    EventFn fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Removes cancelled entries from the top of the heap.
+  void purge_top() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  SimTime last_popped_;
+};
+
+}  // namespace bolot::sim

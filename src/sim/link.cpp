@@ -1,0 +1,140 @@
+#include "sim/link.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace bolot::sim {
+
+Link::Link(Simulator& sim, LinkConfig config, Rng drop_rng)
+    : sim_(sim), config_(std::move(config)), drop_rng_(drop_rng) {
+  if (config_.rate_bps <= 0.0) {
+    throw std::invalid_argument("Link: rate must be positive");
+  }
+  if (config_.buffer_packets == 0) {
+    throw std::invalid_argument("Link: buffer must hold at least one packet");
+  }
+  if (config_.random_drop_probability < 0.0 ||
+      config_.random_drop_probability >= 1.0) {
+    throw std::invalid_argument("Link: drop probability outside [0, 1)");
+  }
+  if (config_.red) {
+    const RedConfig& red = *config_.red;
+    if (!(red.min_threshold >= 0.0) ||
+        !(red.max_threshold > red.min_threshold) ||
+        red.max_probability <= 0.0 || red.max_probability > 1.0 ||
+        red.weight <= 0.0 || red.weight > 1.0) {
+      throw std::invalid_argument("Link: malformed RED configuration");
+    }
+  }
+}
+
+bool Link::red_admits(std::size_t queue_length) {
+  const RedConfig& red = *config_.red;
+  red_avg_ = (1.0 - red.weight) * red_avg_ +
+             red.weight * static_cast<double>(queue_length);
+  if (red_avg_ < red.min_threshold) {
+    red_count_ = -1;
+    return true;
+  }
+  if (red_avg_ >= red.max_threshold) {
+    red_count_ = 0;
+    return false;
+  }
+  ++red_count_;
+  const double pb = red.max_probability *
+                    (red_avg_ - red.min_threshold) /
+                    (red.max_threshold - red.min_threshold);
+  // Uniformize inter-drop spacing (Floyd & Jacobson's count correction).
+  const double denom = 1.0 - static_cast<double>(red_count_) * pb;
+  const double pa = denom > 0.0 ? pb / denom : 1.0;
+  if (drop_rng_.chance(pa)) {
+    red_count_ = 0;
+    return false;
+  }
+  return true;
+}
+
+void Link::enqueue(Packet&& packet) {
+  ++stats_.offered;
+  if (config_.random_drop_probability > 0.0 &&
+      drop_rng_.chance(config_.random_drop_probability)) {
+    drop(std::move(packet), DropCause::kRandom);
+    return;
+  }
+  if (config_.red && !red_admits(queue_length())) {
+    drop(std::move(packet), DropCause::kRed);
+    return;
+  }
+  if (queue_length() >= config_.buffer_packets) {
+    drop(std::move(packet), DropCause::kOverflow);
+    return;
+  }
+  backlog_bytes_ += packet.size_bytes;
+  if (busy_ || paused_) {
+    queue_.push_back(std::move(packet));
+    stats_.max_queue = std::max(stats_.max_queue, queue_length());
+  } else {
+    start_transmission(std::move(packet));
+  }
+}
+
+void Link::pause() { paused_ = true; }
+
+void Link::resume() {
+  if (!paused_) return;
+  paused_ = false;
+  if (!busy_ && !queue_.empty()) {
+    Packet next = std::move(queue_.front());
+    queue_.pop_front();
+    start_transmission(std::move(next));
+  }
+}
+
+void Link::start_transmission(Packet&& packet) {
+  busy_ = true;
+  in_service_ = std::move(packet);
+  stats_.max_queue = std::max(stats_.max_queue, queue_length());
+  const Duration service = service_time(in_service_.size_bytes);
+  stats_.busy += service;
+  sim_.schedule_in(service, [this] { on_transmission_complete(); });
+}
+
+void Link::on_transmission_complete() {
+  Packet done = std::move(in_service_);
+  busy_ = false;
+  backlog_bytes_ -= done.size_bytes;
+  if (!paused_ && !queue_.empty()) {
+    Packet next = std::move(queue_.front());
+    queue_.pop_front();
+    start_transmission(std::move(next));
+  }
+  ++stats_.delivered;
+  stats_.bytes_delivered += done.size_bytes;
+  if (sink_) {
+    // Deliver after the propagation delay.  The shared_ptr-free capture
+    // moves the packet into the closure.
+    sim_.schedule_in(config_.propagation,
+                     [this, p = std::move(done)]() mutable {
+                       if (delivery_hook_) delivery_hook_(p, sim_.now());
+                       if (sink_) sink_(std::move(p));
+                     });
+  }
+}
+
+void Link::drop(Packet&& packet, DropCause cause) {
+  switch (cause) {
+    case DropCause::kOverflow:
+      ++stats_.overflow_drops;
+      break;
+    case DropCause::kRandom:
+      ++stats_.random_drops;
+      break;
+    case DropCause::kRed:
+      ++stats_.red_drops;
+      break;
+  }
+  if (drop_hook_) drop_hook_(packet, cause);
+}
+
+}  // namespace bolot::sim

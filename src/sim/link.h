@@ -1,0 +1,145 @@
+// A unidirectional link: finite drop-tail FIFO buffer + transmitter +
+// propagation delay.  This is the component the paper's Fig.-3 model
+// abstracts: a single server of rate mu with buffer K.
+//
+// An optional random-drop stage models the faulty Ethernet/FDDI interface
+// cards reported by Mishra & Sanghi (up to 3% random loss on SURAnet),
+// which the paper cites to explain part of the ~10% stationary probe loss.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "sim/packet.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace bolot::sim {
+
+/// Random Early Detection (Floyd & Jacobson 1993 — contemporary with the
+/// paper) as an alternative to drop-tail, for the queue-management
+/// ablation.  Thresholds are in packets against the EWMA queue length.
+/// Simplification vs the full algorithm: the average decays only at
+/// arrival instants (no idle-time correction), adequate for the loads the
+/// benches apply.
+struct RedConfig {
+  double min_threshold = 5.0;
+  double max_threshold = 15.0;
+  double max_probability = 0.1;
+  double weight = 0.002;  // EWMA gain w_q
+};
+
+struct LinkConfig {
+  std::string name;
+  double rate_bps = 1e6;               // transmission rate
+  Duration propagation;                 // one-way propagation delay
+  std::size_t buffer_packets = 64;      // K, counting the packet in service
+  double random_drop_probability = 0;   // faulty-interface loss, in [0, 1)
+  std::optional<RedConfig> red;         // unset = pure drop-tail
+};
+
+enum class DropCause : std::uint8_t {
+  kOverflow,  // buffer full (drop-tail)
+  kRandom,    // faulty-interface stage
+  kRed,       // RED early drop
+};
+
+struct LinkStats {
+  std::uint64_t offered = 0;         // packets handed to enqueue()
+  std::uint64_t delivered = 0;       // packets that reached the sink
+  std::uint64_t overflow_drops = 0;  // buffer-full drops
+  std::uint64_t random_drops = 0;    // faulty-interface drops
+  std::uint64_t red_drops = 0;       // RED early drops
+  std::int64_t bytes_delivered = 0;
+  std::size_t max_queue = 0;         // high-water mark incl. in service
+  Duration busy;                     // cumulative transmitter busy time
+
+  std::uint64_t total_drops() const {
+    return overflow_drops + random_drops + red_drops;
+  }
+  double utilization(Duration elapsed) const {
+    return elapsed.is_zero() ? 0.0 : busy / elapsed;
+  }
+};
+
+class Link {
+ public:
+  using Sink = std::function<void(Packet&&)>;
+  /// Called for every dropped packet (after stats are updated); used by
+  /// the tracing layer.
+  using DropHook = std::function<void(const Packet&, DropCause cause)>;
+  /// Observation hook invoked at the instant a packet is handed to the
+  /// sink (after service + propagation); does not affect forwarding.
+  using DeliveryHook = std::function<void(const Packet&, SimTime at)>;
+
+  Link(Simulator& sim, LinkConfig config, Rng drop_rng);
+
+  /// Hands a packet to the link.  May drop (buffer full or random stage).
+  void enqueue(Packet&& packet);
+
+  /// Pauses/resumes the transmitter (a frozen gateway: packets queue but
+  /// nothing is clocked onto the wire).  The packet mid-transmission
+  /// completes; the queue then holds until resume.  Models the periodic
+  /// gateway stalls Sanghi et al. diagnosed (the paper's "dramatic delay
+  /// increase every 90 seconds" example).
+  void pause();
+  void resume();
+  bool paused() const { return paused_; }
+
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+  void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
+  void set_delivery_hook(DeliveryHook hook) {
+    delivery_hook_ = std::move(hook);
+  }
+
+  const LinkConfig& config() const { return config_; }
+  const LinkStats& stats() const { return stats_; }
+
+  /// Packets currently buffered, including the one in service.
+  std::size_t queue_length() const {
+    return queue_.size() + (busy_ ? 1 : 0);
+  }
+  /// Bytes currently buffered (whole packets, including the one in
+  /// service at its full size — a slight overestimate mid-transmission).
+  std::int64_t backlog_bytes() const { return backlog_bytes_; }
+  bool busy() const { return busy_; }
+
+  /// Time to clock one packet of `bytes` onto the wire.
+  Duration service_time(std::int64_t bytes) const {
+    return transmission_time(bytes * 8, config_.rate_bps);
+  }
+
+  /// Current RED average queue estimate (0 when RED is off); for tests.
+  double red_average_queue() const { return red_avg_; }
+
+ private:
+  void start_transmission(Packet&& packet);
+  void on_transmission_complete();
+  void drop(Packet&& packet, DropCause cause);
+  bool red_admits(std::size_t queue_length);
+
+  Simulator& sim_;
+  LinkConfig config_;
+  Rng drop_rng_;
+  Sink sink_;
+  DropHook drop_hook_;
+  DeliveryHook delivery_hook_;
+
+  std::deque<Packet> queue_;  // waiting packets (not the one in service)
+  std::int64_t backlog_bytes_ = 0;
+  bool busy_ = false;
+  Packet in_service_;
+  LinkStats stats_;
+
+  bool paused_ = false;
+
+  // RED state.
+  double red_avg_ = 0.0;
+  std::int64_t red_count_ = -1;  // packets since the last RED drop
+};
+
+}  // namespace bolot::sim

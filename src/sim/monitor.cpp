@@ -1,0 +1,81 @@
+#include "sim/monitor.h"
+
+#include <stdexcept>
+
+namespace bolot::sim {
+
+QueueMonitor::QueueMonitor(Simulator& sim, const Link& link,
+                           Duration interval, Mode mode)
+    : sim_(sim), link_(link), interval_(interval), mode_(mode) {
+  if (interval <= Duration::zero()) {
+    throw std::invalid_argument("QueueMonitor: interval must be positive");
+  }
+}
+
+void QueueMonitor::start(SimTime at) {
+  if (running_) return;
+  running_ = true;
+  pending_ = sim_.schedule_at(at, [this] { sample(); });
+}
+
+void QueueMonitor::stop() {
+  running_ = false;
+  pending_.cancel();
+}
+
+void QueueMonitor::sample() {
+  if (!running_) return;
+  if (mode_ == Mode::kPackets) {
+    samples_.push_back(static_cast<double>(link_.queue_length()));
+  } else {
+    samples_.push_back(link_.service_time(link_.backlog_bytes()).millis());
+  }
+  times_.push_back(sim_.now());
+  pending_ = sim_.schedule_in(interval_, [this] { sample(); });
+}
+
+analysis::Summary QueueMonitor::occupancy() const {
+  return analysis::summarize(samples_);
+}
+
+double QueueMonitor::fraction_at_or_above(double threshold) const {
+  if (samples_.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (double s : samples_) hits += s >= threshold ? 1 : 0;
+  return static_cast<double>(hits) / static_cast<double>(samples_.size());
+}
+
+void DropMonitor::attach(Link& link) {
+  link.set_drop_hook([this](const Packet& packet, DropCause cause) {
+    record(packet, cause);
+  });
+}
+
+void DropMonitor::record(const Packet& packet, DropCause cause) {
+  FlowDrops& drops = drops_[packet.flow];
+  switch (cause) {
+    case DropCause::kOverflow:
+      ++drops.overflow;
+      break;
+    case DropCause::kRandom:
+      ++drops.random;
+      break;
+    case DropCause::kRed:
+      ++drops.red;
+      break;
+  }
+}
+
+const DropMonitor::FlowDrops& DropMonitor::drops_for(
+    std::uint32_t flow) const {
+  const auto it = drops_.find(flow);
+  return it == drops_.end() ? none_ : it->second;
+}
+
+std::uint64_t DropMonitor::total_drops() const {
+  std::uint64_t total = 0;
+  for (const auto& [flow, drops] : drops_) total += drops.total();
+  return total;
+}
+
+}  // namespace bolot::sim

@@ -1,0 +1,83 @@
+// Measurement instrumentation for the simulator itself (as opposed to the
+// NetDyn probes, which only see the network from the edge): periodic
+// queue-length sampling and per-flow drop accounting.  The benches use
+// these to show what the probes *should* have inferred — e.g. comparing
+// the true bottleneck occupancy against eq.-6 estimates.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "analysis/stats.h"
+#include "sim/link.h"
+#include "sim/simulator.h"
+
+namespace bolot::sim {
+
+/// Samples a link's instantaneous queue length (packets, including the
+/// one in service) every `interval`.  Start once; runs until the
+/// simulation ends or stop() is called.
+class QueueMonitor {
+ public:
+  enum class Mode {
+    kPackets,  // sample queue_length()
+    kWorkMs,   // sample backlog_bytes() expressed as service time (ms)
+  };
+
+  /// `link` must outlive the monitor.
+  QueueMonitor(Simulator& sim, const Link& link, Duration interval,
+               Mode mode = Mode::kPackets);
+
+  void start(SimTime at);
+  void stop();
+
+  const std::vector<double>& samples() const { return samples_; }
+  const std::vector<SimTime>& sample_times() const { return times_; }
+
+  /// Summary of the sampled occupancy.
+  analysis::Summary occupancy() const;
+
+  /// Fraction of samples at or above `threshold` packets.
+  double fraction_at_or_above(double threshold) const;
+
+ private:
+  void sample();
+
+  Simulator& sim_;
+  const Link& link_;
+  Duration interval_;
+  Mode mode_;
+  bool running_ = false;
+  EventHandle pending_;
+  std::vector<double> samples_;
+  std::vector<SimTime> times_;
+};
+
+/// Aggregates drop causes per flow across any number of links (attach()
+/// chains onto each link's drop hook; attach all links before installing
+/// other hooks, as it replaces the hook).
+class DropMonitor {
+ public:
+  struct FlowDrops {
+    std::uint64_t overflow = 0;
+    std::uint64_t random = 0;
+    std::uint64_t red = 0;
+
+    std::uint64_t total() const { return overflow + random + red; }
+  };
+
+  void attach(Link& link);
+
+  const FlowDrops& drops_for(std::uint32_t flow) const;
+  std::uint64_t total_drops() const;
+  const std::map<std::uint32_t, FlowDrops>& by_flow() const { return drops_; }
+
+ private:
+  void record(const Packet& packet, DropCause cause);
+
+  std::map<std::uint32_t, FlowDrops> drops_;
+  FlowDrops none_;  // returned for flows never seen
+};
+
+}  // namespace bolot::sim

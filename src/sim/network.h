@@ -1,0 +1,106 @@
+// Topology container: nodes, directed links, static shortest-path routing,
+// and a traceroute facility used to regenerate the paper's Tables 1 and 2.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/link.h"
+#include "sim/packet.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace bolot::sim {
+
+/// One hop reported by traceroute.
+struct TracerouteHop {
+  NodeId node = kInvalidNode;
+  std::string name;
+};
+
+class Network {
+ public:
+  /// Delivered packets are handed to the receiver registered at their
+  /// destination node.
+  using Receiver = std::function<void(Packet&&)>;
+
+  /// `rng_seed` seeds the per-link random-drop streams.
+  Network(Simulator& sim, std::uint64_t rng_seed = 1);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  NodeId add_node(std::string name);
+  std::size_t node_count() const { return nodes_.size(); }
+  const std::string& node_name(NodeId id) const;
+  NodeId find_node(const std::string& name) const;  // throws if absent
+
+  /// Adds a pair of directed links (a->b and b->a) with the same
+  /// configuration; returns the a->b link.  Links may be added only before
+  /// the first send (routes are computed lazily and then frozen).
+  Link& add_duplex_link(NodeId a, NodeId b, const LinkConfig& config);
+
+  /// Adds a single directed link a->b (for asymmetric paths).
+  Link& add_link(NodeId a, NodeId b, const LinkConfig& config);
+
+  /// The directed link a->b.  Throws if absent.
+  Link& link(NodeId a, NodeId b);
+  const Link& link(NodeId a, NodeId b) const;
+
+  /// Registers the application-level receiver for packets addressed to
+  /// `node`.  At most one receiver per node.
+  void set_receiver(NodeId node, Receiver receiver);
+
+  /// Injects a packet at its source node; it is forwarded hop by hop.
+  /// Throws if no route exists.
+  void send(Packet&& packet);
+
+  /// Minimum-hop path from src to dst, inclusive of both endpoints.
+  std::vector<TracerouteHop> traceroute(NodeId src, NodeId dst) const;
+
+  /// Forces (re)computation of the routing tables; otherwise computed on
+  /// first send.
+  void compute_routes();
+
+  /// Administratively downs/ups the directed link a->b and recomputes
+  /// routes (a converged routing update; packets already on the link
+  /// still arrive).  Throws if the link does not exist.
+  void set_link_down(NodeId a, NodeId b);
+  void set_link_up(NodeId a, NodeId b);
+  bool link_is_up(NodeId a, NodeId b) const;
+
+  /// Sum of drops over all links, split by cause.
+  std::uint64_t total_overflow_drops() const;
+  std::uint64_t total_random_drops() const;
+  /// Packets dropped mid-path because no route existed (link failures).
+  std::uint64_t unroutable_drops() const { return unroutable_drops_; }
+
+ private:
+  struct DirectedLink {
+    NodeId from, to;
+    std::unique_ptr<Link> link;
+    bool up = true;
+  };
+  struct Node {
+    std::string name;
+    Receiver receiver;
+    // next_hop[d] = index into links_ for the first hop toward d, or -1.
+    std::vector<std::int32_t> next_hop;
+  };
+
+  void deliver(NodeId at, Packet&& packet);
+  void forward(NodeId at, Packet&& packet);
+  std::int32_t link_index(NodeId a, NodeId b) const;
+
+  Simulator& sim_;
+  Rng rng_;
+  std::vector<Node> nodes_;
+  std::vector<DirectedLink> links_;
+  bool routes_valid_ = false;
+  std::uint64_t unroutable_drops_ = 0;
+};
+
+}  // namespace bolot::sim

@@ -1,0 +1,19 @@
+#include "sim/packet.h"
+
+namespace bolot::sim {
+
+const char* to_string(PacketKind kind) {
+  switch (kind) {
+    case PacketKind::kProbe:
+      return "probe";
+    case PacketKind::kBulk:
+      return "bulk";
+    case PacketKind::kInteractive:
+      return "interactive";
+    case PacketKind::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+}  // namespace bolot::sim

@@ -1,0 +1,69 @@
+// The simulator's packet representation.
+//
+// Sizes are wire sizes (payload + UDP/IP headers): the paper's 32-byte
+// probes occupy 72 bytes on the wire, and that is the size that matters at
+// the bottleneck queue.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/time.h"
+
+namespace bolot::sim {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = UINT32_MAX;
+
+enum class PacketKind : std::uint8_t {
+  kProbe,        // NetDyn UDP probe
+  kBulk,         // FTP-like bulk data
+  kInteractive,  // Telnet-like keystroke traffic
+  kOther,
+};
+
+const char* to_string(PacketKind kind);
+
+/// Extra fields carried only by NetDyn probes: the sequence number and the
+/// three timestamp fields of the measurement tool's wire format.
+struct ProbePayload {
+  std::uint64_t seq = 0;
+  Duration source_ts;  // stamped when the source sends the probe
+  Duration echo_ts;    // stamped when the echo host forwards it back
+  bool echoed = false;
+};
+
+/// TCP segment metadata (see sim/tcp.h): `seq` is the segment index for
+/// data, or the cumulative-ack value for acks.
+struct TcpSegmentInfo {
+  std::uint64_t seq = 0;
+  bool is_ack = false;
+};
+
+struct Packet {
+  std::uint64_t id = 0;          // globally unique, assigned by the creator
+  PacketKind kind = PacketKind::kOther;
+  std::uint32_t flow = 0;        // traffic source identifier
+  std::int64_t size_bytes = 0;   // wire size
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  SimTime created;               // time the packet entered the network
+  std::optional<ProbePayload> probe;
+  std::optional<TcpSegmentInfo> tcp;
+
+  std::int64_t size_bits() const { return size_bytes * 8; }
+};
+
+/// Wire size of the paper's probe packets: 32 bytes of UDP payload plus
+/// 8 bytes UDP and 20 bytes IP header, plus link framing rounded to 72.
+inline constexpr std::int64_t kProbeWireBytes = 72;
+
+/// Wire size we use for one "FTP packet" of cross traffic; the paper
+/// estimates ~488 bytes from its measurements (eq. 6).
+inline constexpr std::int64_t kFtpWireBytes = 512;
+
+/// Wire size for one interactive (Telnet-like) packet.
+inline constexpr std::int64_t kTelnetWireBytes = 64;
+
+}  // namespace bolot::sim

@@ -1,0 +1,115 @@
+#include "sim/packet_log.h"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+namespace bolot::sim {
+
+PacketLog::PacketLog(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("PacketLog: capacity must be positive");
+  }
+  events_.reserve(std::min<std::size_t>(capacity_, 4096));
+}
+
+void PacketLog::attach(Simulator& sim, Link& link) {
+  const std::string link_name = link.config().name;
+  link.set_delivery_hook([this, link_name](const Packet& packet,
+                                           SimTime at) {
+    PacketEvent event;
+    event.at = at;
+    event.kind = PacketEventKind::kDelivered;
+    event.link = link_name;
+    event.packet_id = packet.id;
+    event.flow = packet.flow;
+    event.packet_kind = packet.kind;
+    event.size_bytes = packet.size_bytes;
+    record(std::move(event));
+  });
+  link.set_drop_hook([this, link_name, &sim](const Packet& packet,
+                                             DropCause cause) {
+    PacketEvent event;
+    event.at = sim.now();
+    event.kind = PacketEventKind::kDropped;
+    event.cause = cause;
+    event.link = link_name;
+    event.packet_id = packet.id;
+    event.flow = packet.flow;
+    event.packet_kind = packet.kind;
+    event.size_bytes = packet.size_bytes;
+    record(std::move(event));
+  });
+}
+
+void PacketLog::record(PacketEvent event) {
+  if (events_.size() < capacity_) {
+    events_.push_back(std::move(event));
+    return;
+  }
+  events_[next_] = std::move(event);
+  next_ = (next_ + 1) % capacity_;
+  wrapped_ = true;
+  ++evicted_;
+}
+
+void PacketLog::normalize() const {
+  if (!wrapped_ || next_ == 0) return;
+  std::rotate(events_.begin(),
+              events_.begin() + static_cast<std::ptrdiff_t>(next_),
+              events_.end());
+  next_ = 0;
+}
+
+const std::vector<PacketEvent>& PacketLog::events() const {
+  normalize();
+  return events_;
+}
+
+std::vector<PacketEvent> PacketLog::for_flow(std::uint32_t flow) const {
+  std::vector<PacketEvent> out;
+  for (const auto& event : events()) {
+    if (event.flow == flow) out.push_back(event);
+  }
+  return out;
+}
+
+std::vector<PacketEvent> PacketLog::drops_between(SimTime from,
+                                                  SimTime to) const {
+  std::vector<PacketEvent> out;
+  for (const auto& event : events()) {
+    if (event.kind != PacketEventKind::kDropped) continue;
+    if (event.at >= from && event.at < to) out.push_back(event);
+  }
+  return out;
+}
+
+void PacketLog::write_csv(std::ostream& os) const {
+  os << "at_ns,event,cause,link,packet_id,flow,kind,bytes\n";
+  for (const auto& event : events()) {
+    os << event.at.count_nanos() << ','
+       << (event.kind == PacketEventKind::kDelivered ? "delivered" : "dropped")
+       << ',';
+    if (event.kind == PacketEventKind::kDropped) {
+      switch (event.cause) {
+        case DropCause::kOverflow:
+          os << "overflow";
+          break;
+        case DropCause::kRandom:
+          os << "random";
+          break;
+        case DropCause::kRed:
+          os << "red";
+          break;
+      }
+    } else {
+      os << '-';
+    }
+    os << ',' << event.link << ',' << event.packet_id << ',' << event.flow
+       << ',' << to_string(event.packet_kind) << ',' << event.size_bytes
+       << '\n';
+  }
+}
+
+}  // namespace bolot::sim

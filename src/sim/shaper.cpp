@@ -1,0 +1,76 @@
+#include "sim/shaper.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace bolot::sim {
+
+TokenBucketShaper::TokenBucketShaper(Simulator& sim, Network& net,
+                                     ShaperConfig config)
+    : sim_(sim),
+      net_(net),
+      config_(config),
+      tokens_bytes_(static_cast<double>(config.bucket_bytes)),
+      last_refill_(sim.now()) {
+  if (config_.rate_bps <= 0.0 || config_.bucket_bytes <= 0 ||
+      config_.queue_packets == 0) {
+    throw std::invalid_argument("TokenBucketShaper: bad configuration");
+  }
+}
+
+void TokenBucketShaper::refill_to_now() {
+  const Duration elapsed = sim_.now() - last_refill_;
+  last_refill_ = sim_.now();
+  tokens_bytes_ =
+      std::min(static_cast<double>(config_.bucket_bytes),
+               tokens_bytes_ + elapsed.seconds() * config_.rate_bps / 8.0);
+}
+
+void TokenBucketShaper::offer(Packet&& packet) {
+  refill_to_now();
+  if (queue_.empty() &&
+      tokens_bytes_ >= static_cast<double>(packet.size_bytes)) {
+    tokens_bytes_ -= static_cast<double>(packet.size_bytes);
+    ++forwarded_;
+    net_.send(std::move(packet));
+    return;
+  }
+  if (queue_.size() >= config_.queue_packets) {
+    ++dropped_;
+    return;
+  }
+  queue_.push_back(std::move(packet));
+  schedule_release();
+}
+
+void TokenBucketShaper::release_ready() {
+  refill_to_now();
+  // Epsilon-tolerant: a release scheduled for "exactly enough tokens" must
+  // not miss by a rounding ulp and reschedule a zero wait forever.
+  while (!queue_.empty() &&
+         tokens_bytes_ + 1e-9 >=
+             static_cast<double>(queue_.front().size_bytes)) {
+    Packet packet = std::move(queue_.front());
+    queue_.pop_front();
+    tokens_bytes_ -= static_cast<double>(packet.size_bytes);
+    ++forwarded_;
+    net_.send(std::move(packet));
+  }
+  if (!queue_.empty()) schedule_release();
+}
+
+void TokenBucketShaper::schedule_release() {
+  pending_.cancel();
+  const double deficit_bytes =
+      static_cast<double>(queue_.front().size_bytes) - tokens_bytes_;
+  // Round the wait up and floor it at 1 us so progress is guaranteed even
+  // when floating-point refill arithmetic leaves a sub-nanosecond deficit.
+  const Duration wait = std::max(
+      Duration::micros(1.0),
+      Duration::seconds(std::max(0.0, deficit_bytes) * 8.0 /
+                        config_.rate_bps));
+  pending_ = sim_.schedule_in(wait, [this] { release_ready(); });
+}
+
+}  // namespace bolot::sim

@@ -1,0 +1,36 @@
+// Simulation kernel: virtual clock plus event dispatch loop.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.h"
+#include "util/time.h"
+
+namespace bolot::sim {
+
+class Simulator {
+ public:
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` from now (delay >= 0).
+  EventHandle schedule_in(Duration delay, EventFn fn);
+
+  /// Schedules `fn` at absolute time `at` (at >= now()).
+  EventHandle schedule_at(SimTime at, EventFn fn);
+
+  /// Runs events until the queue empties or the next event would fire after
+  /// `end`; the clock is left at min(end, last event time).
+  void run_until(SimTime end);
+
+  /// Runs until the event queue is empty.
+  void run_to_completion();
+
+  std::uint64_t events_dispatched() const { return dispatched_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_;
+  std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace bolot::sim

@@ -1,0 +1,238 @@
+#include "sim/tcp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace bolot::sim {
+
+// ---------------------------------------------------------------------------
+// TcpSink
+
+TcpSink::TcpSink(Simulator& sim, Network& net, NodeId node)
+    : sim_(sim), net_(net), node_(node) {
+  net_.set_receiver(node_, [this](Packet&& p) { on_packet(std::move(p)); });
+}
+
+void TcpSink::on_packet(Packet&& p) {
+  if (!p.tcp || p.tcp->is_ack) return;  // not a data segment
+  ++received_;
+  FlowState& flow = flows_[p.flow];
+  const std::uint64_t seq = p.tcp->seq;
+  if (seq == flow.next_expected) {
+    ++flow.next_expected;
+    // Drain any buffered in-order continuation.
+    while (flow.out_of_order.erase(flow.next_expected) > 0) {
+      ++flow.next_expected;
+    }
+  } else if (seq > flow.next_expected) {
+    flow.out_of_order.insert(seq);
+  }
+  // Cumulative ack (also a duplicate ack when seq was out of order).
+  Packet ack;
+  ack.id = p.id ^ 0x8000000000000000ULL;
+  ack.kind = PacketKind::kOther;
+  ack.flow = p.flow;
+  ack.size_bytes = 40;
+  ack.src = node_;
+  ack.dst = p.src;
+  ack.created = sim_.now();
+  ack.tcp = TcpSegmentInfo{flow.next_expected, /*is_ack=*/true};
+  ++acks_sent_;
+  net_.send(std::move(ack));
+}
+
+// ---------------------------------------------------------------------------
+// TcpSource
+
+TcpSource::TcpSource(Simulator& sim, Network& net, NodeId src, NodeId dst,
+                     std::uint32_t flow, Rng rng, TcpConfig config)
+    : sim_(sim),
+      net_(net),
+      src_(src),
+      dst_(dst),
+      flow_(flow),
+      rng_(rng),
+      config_(config),
+      ssthresh_(config.initial_ssthresh_packets),
+      rto_(config.initial_rto) {
+  if (config_.segment_bytes <= 0 || config_.ack_bytes <= 0) {
+    throw std::invalid_argument("TcpSource: packet sizes must be positive");
+  }
+  if (config_.initial_ssthresh_packets < 1.0 ||
+      config_.receiver_window_packets < 1.0) {
+    throw std::invalid_argument("TcpSource: windows must be >= 1 packet");
+  }
+  if (config_.mean_file_packets && *config_.mean_file_packets < 1.0) {
+    throw std::invalid_argument("TcpSource: mean file length < 1 packet");
+  }
+  net_.set_receiver(src_, [this](Packet&& p) { on_packet(std::move(p)); });
+}
+
+void TcpSource::start(SimTime at) {
+  if (running_) return;
+  running_ = true;
+  idle_timer_ = sim_.schedule_at(at, [this] { begin_transfer(); });
+}
+
+void TcpSource::stop() {
+  running_ = false;
+  timer_.cancel();
+  idle_timer_.cancel();
+}
+
+void TcpSource::begin_transfer() {
+  if (!running_) return;
+  transfer_active_ = true;
+  if (config_.mean_file_packets) {
+    const auto packets = rng_.geometric(1.0 / *config_.mean_file_packets);
+    transfer_end_ = snd_nxt_ + packets;
+  } else {
+    transfer_end_ = UINT64_MAX;
+  }
+  // New connection: restart from a one-packet window (ssthresh persists,
+  // as after any idle restart).
+  cwnd_ = 1.0;
+  dupacks_ = 0;
+  try_send();
+}
+
+void TcpSource::try_send() {
+  if (!running_ || !transfer_active_) return;
+  const double window = std::min(cwnd_, config_.receiver_window_packets);
+  const auto window_packets = static_cast<std::uint64_t>(window);
+  while (snd_nxt_ < transfer_end_ &&
+         snd_nxt_ - snd_una_ < window_packets) {
+    send_segment(snd_nxt_, /*is_retransmission=*/false);
+    ++snd_nxt_;
+  }
+}
+
+void TcpSource::send_segment(std::uint64_t seq, bool is_retransmission) {
+  Packet segment;
+  segment.id = (static_cast<std::uint64_t>(flow_) << 40) + stats_.segments_sent;
+  segment.kind = PacketKind::kBulk;
+  segment.flow = flow_;
+  segment.size_bytes = config_.segment_bytes;
+  segment.src = src_;
+  segment.dst = dst_;
+  segment.created = sim_.now();
+  segment.tcp = TcpSegmentInfo{seq, /*is_ack=*/false};
+  ++stats_.segments_sent;
+  if (is_retransmission) ++stats_.retransmissions;
+
+  // Karn's rule: time only segments sent exactly once.
+  if (!is_retransmission && !timed_seq_) {
+    timed_seq_ = seq;
+    timed_sent_at_ = sim_.now();
+  }
+  net_.send(std::move(segment));
+  if (!timer_.valid() || snd_una_ == seq) arm_timer();
+}
+
+void TcpSource::arm_timer() {
+  timer_.cancel();
+  timer_ = sim_.schedule_in(rto_, [this] { on_timeout(); });
+}
+
+void TcpSource::on_packet(Packet&& p) {
+  if (!p.tcp || !p.tcp->is_ack || p.flow != flow_) return;
+  const std::uint64_t ack = p.tcp->seq;
+  on_ack(ack);
+  if (ack_hook_) ack_hook_(sim_.now(), ack);
+}
+
+void TcpSource::on_ack(std::uint64_t cumulative_ack) {
+  if (!running_) return;
+  if (cumulative_ack <= snd_una_) {
+    // Duplicate ack.  Only trigger fast retransmit for losses past the
+    // last recovery point: go-back-N leaves a window of pre-loss
+    // segments in flight whose (stale) dupacks must not retrigger it.
+    if (++dupacks_ == config_.dupack_threshold && snd_una_ < snd_nxt_ &&
+        snd_una_ >= recover_) {
+      ++stats_.fast_retransmits;
+      enter_loss_recovery();
+    }
+    return;
+  }
+
+  // New data acked.  With go-back-N the receiver may have buffered the
+  // whole pre-loss window, so the cumulative ack can jump past snd_nxt_;
+  // the send pointer must never trail snd_una_.
+  const std::uint64_t newly_acked = cumulative_ack - snd_una_;
+  stats_.segments_acked += newly_acked;
+  snd_una_ = cumulative_ack;
+  if (snd_nxt_ < snd_una_) snd_nxt_ = snd_una_;
+  dupacks_ = 0;
+
+  // RTT sample (Karn: only if the timed segment is now acked).
+  if (timed_seq_ && *timed_seq_ < cumulative_ack) {
+    const double sample_ms = (sim_.now() - timed_sent_at_).millis();
+    if (!srtt_valid_) {
+      srtt_ms_ = sample_ms;
+      rttvar_ms_ = sample_ms / 2.0;
+      srtt_valid_ = true;
+    } else {
+      // Jacobson: g = 1/8, h = 1/4.
+      const double err = sample_ms - srtt_ms_;
+      srtt_ms_ += err / 8.0;
+      rttvar_ms_ += (std::abs(err) - rttvar_ms_) / 4.0;
+    }
+    const double rto_ms = srtt_ms_ + 4.0 * rttvar_ms_;
+    rto_ = std::clamp(Duration::millis(rto_ms), config_.min_rto,
+                      config_.max_rto);
+    stats_.last_srtt_ms = srtt_ms_;
+    timed_seq_.reset();
+  }
+
+  // Window growth: slow start below ssthresh, else congestion avoidance.
+  for (std::uint64_t i = 0; i < newly_acked; ++i) {
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += 1.0;
+    } else {
+      cwnd_ += 1.0 / cwnd_;
+    }
+  }
+  cwnd_ = std::min(cwnd_, config_.receiver_window_packets);
+  stats_.last_cwnd_packets = cwnd_;
+
+  if (snd_una_ == snd_nxt_) {
+    timer_.cancel();
+    if (transfer_active_ && snd_una_ >= transfer_end_) {
+      // Transfer complete: idle, then start the next file.
+      transfer_active_ = false;
+      ++stats_.transfers_completed;
+      idle_timer_ = sim_.schedule_in(rng_.exponential_time(config_.mean_idle),
+                                     [this] { begin_transfer(); });
+      return;
+    }
+  } else {
+    arm_timer();  // restart for the new oldest outstanding segment
+  }
+  try_send();
+}
+
+void TcpSource::enter_loss_recovery() {
+  // Tahoe: collapse to one segment and go back to snd_una.
+  recover_ = snd_nxt_;
+  const double flight = static_cast<double>(snd_nxt_ - snd_una_);
+  ssthresh_ = std::max(2.0, flight / 2.0);
+  cwnd_ = 1.0;
+  dupacks_ = 0;
+  timed_seq_.reset();  // Karn: outstanding timings are ambiguous now
+  snd_nxt_ = snd_una_;
+  send_segment(snd_nxt_, /*is_retransmission=*/true);
+  ++snd_nxt_;
+  arm_timer();
+}
+
+void TcpSource::on_timeout() {
+  if (!running_ || !transfer_active_) return;
+  if (snd_una_ == snd_nxt_) return;  // nothing outstanding
+  ++stats_.timeouts;
+  rto_ = std::min(rto_ * 2, config_.max_rto);  // exponential backoff
+  enter_loss_recovery();
+}
+
+}  // namespace bolot::sim

@@ -1,0 +1,101 @@
+#include "sim/udp_echo.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "nettime/clock.h"
+
+namespace bolot::sim {
+
+EchoHost::EchoHost(Simulator& sim, Network& net, NodeId node)
+    : sim_(sim), net_(net), node_(node) {
+  net_.set_receiver(node_, [this](Packet&& p) { on_packet(std::move(p)); });
+}
+
+void EchoHost::on_packet(Packet&& p) {
+  if (p.kind != PacketKind::kProbe || !p.probe || p.probe->echoed) {
+    return;  // cross traffic terminating here, or a stray echoed probe
+  }
+  p.probe->echoed = true;
+  p.probe->echo_ts = sim_.now();
+  std::swap(p.src, p.dst);
+  ++echoed_;
+  net_.send(std::move(p));
+}
+
+UdpEchoSource::UdpEchoSource(Simulator& sim, Network& net, NodeId source,
+                             NodeId echo, ProbeSourceConfig config)
+    : sim_(sim),
+      net_(net),
+      source_(source),
+      echo_(echo),
+      config_(config),
+      interval_rng_(config.interval_seed) {
+  if (config_.delta <= Duration::zero()) {
+    throw std::invalid_argument("UdpEchoSource: delta must be positive");
+  }
+  if (config_.probe_wire_bytes <= 0) {
+    throw std::invalid_argument("UdpEchoSource: probe size must be positive");
+  }
+  trace_.delta = config_.delta;
+  trace_.probe_wire_bytes = config_.probe_wire_bytes;
+  trace_.clock_tick = config_.clock_tick.value_or(Duration::zero());
+  trace_.records.reserve(config_.probe_count);
+  net_.set_receiver(source_,
+                    [this](Packet&& p) { on_packet(std::move(p)); });
+}
+
+Duration UdpEchoSource::stamp() const {
+  const Duration now = sim_.now();
+  if (config_.clock_tick) {
+    return QuantizedClock::quantize(now, *config_.clock_tick);
+  }
+  return now;
+}
+
+void UdpEchoSource::start(SimTime at) { sim_.schedule_at(at, [this] { send_next(); }); }
+
+void UdpEchoSource::send_next() {
+  if (next_seq_ >= config_.probe_count) return;
+
+  analysis::ProbeRecord record;
+  record.seq = next_seq_;
+  record.send_time = stamp();
+  trace_.records.push_back(record);
+
+  Packet p;
+  p.id = (static_cast<std::uint64_t>(config_.flow) << 40) + next_seq_;
+  p.kind = PacketKind::kProbe;
+  p.flow = config_.flow;
+  p.size_bytes = config_.probe_wire_bytes;
+  p.src = source_;
+  p.dst = echo_;
+  p.created = sim_.now();
+  p.probe = ProbePayload{next_seq_, record.send_time, Duration::zero(), false};
+  ++next_seq_;
+  net_.send(std::move(p));
+
+  const Duration next_gap = config_.interval_sampler
+                                ? config_.interval_sampler(interval_rng_)
+                                : config_.delta;
+  sim_.schedule_in(next_gap, [this] { send_next(); });
+}
+
+void UdpEchoSource::on_packet(Packet&& p) {
+  if (p.kind != PacketKind::kProbe || !p.probe || !p.probe->echoed) {
+    return;  // cross traffic sunk at the source node
+  }
+  const std::uint64_t seq = p.probe->seq;
+  if (seq >= trace_.records.size()) {
+    throw std::logic_error("UdpEchoSource: echo for a probe never sent");
+  }
+  auto& record = trace_.records[seq];
+  record.received = true;
+  record.rtt = stamp() - record.send_time;
+  record.echo_time = p.probe->echo_ts;
+  ++received_;
+}
+
+analysis::ProbeTrace UdpEchoSource::trace() const { return trace_; }
+
+}  // namespace bolot::sim

@@ -1,0 +1,32 @@
+#include "util/time.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace bolot {
+
+std::string Duration::to_string() const {
+  char buf[64];
+  const double abs_ns = std::abs(static_cast<double>(ns_));
+  if (abs_ns < 1e3) {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(ns_));
+  } else if (abs_ns < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3fus", micros());
+  } else if (abs_ns < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.3fms", millis());
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3fs", seconds());
+  }
+  return buf;
+}
+
+Duration transmission_time(std::int64_t bits, double bits_per_second) {
+  if (bits < 0) throw std::invalid_argument("transmission_time: bits < 0");
+  if (bits_per_second <= 0.0) {
+    throw std::invalid_argument("transmission_time: rate must be positive");
+  }
+  return Duration::seconds(static_cast<double>(bits) / bits_per_second);
+}
+
+}  // namespace bolot

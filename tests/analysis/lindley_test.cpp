@@ -1,0 +1,236 @@
+#include "analysis/lindley.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tests/analysis/trace_fixtures.h"
+#include "util/rng.h"
+
+namespace bolot::analysis {
+namespace {
+
+using testing::make_trace;
+
+TEST(LindleyWaitsTest, EmptyAndSingle) {
+  EXPECT_TRUE(lindley_waits({}, {}).empty());
+  const std::vector<double> service = {3.0};
+  const auto waits = lindley_waits(service, {});
+  ASSERT_EQ(waits.size(), 1u);
+  EXPECT_EQ(waits[0], 0.0);
+}
+
+TEST(LindleyWaitsTest, DeterministicRecursion) {
+  // w_{n+1} = max(0, w_n + y_n - x_n).
+  const std::vector<double> service = {4.0, 4.0, 4.0, 4.0};
+  const std::vector<double> gaps = {2.0, 10.0, 3.0};
+  const auto waits = lindley_waits(service, gaps);
+  ASSERT_EQ(waits.size(), 4u);
+  EXPECT_EQ(waits[0], 0.0);
+  EXPECT_EQ(waits[1], 2.0);  // 0 + 4 - 2
+  EXPECT_EQ(waits[2], 0.0);  // 2 + 4 - 10 -> clamp
+  EXPECT_EQ(waits[3], 1.0);  // 0 + 4 - 3
+}
+
+TEST(LindleyWaitsTest, InitialWaitPropagates) {
+  const std::vector<double> service = {1.0, 1.0};
+  const std::vector<double> gaps = {0.5};
+  const auto waits = lindley_waits(service, gaps, 10.0);
+  EXPECT_EQ(waits[0], 10.0);
+  EXPECT_EQ(waits[1], 10.5);
+}
+
+TEST(LindleyWaitsTest, NegativeInitialWaitClamped) {
+  const std::vector<double> service = {1.0};
+  EXPECT_EQ(lindley_waits(service, {}, -3.0)[0], 0.0);
+}
+
+TEST(LindleyWaitsTest, StableQueueStaysBounded) {
+  Rng rng(5);
+  std::vector<double> service, gaps;
+  for (int i = 0; i < 100000; ++i) service.push_back(rng.exponential(0.5));
+  for (int i = 0; i < 99999; ++i) gaps.push_back(rng.exponential(1.0));
+  const auto waits = lindley_waits(service, gaps);
+  // M/M/1 at rho = 0.5: mean wait = rho/(mu(1-rho)) with mu=2 -> 0.5.
+  double mean = 0.0;
+  for (double w : waits) mean += w;
+  mean /= static_cast<double>(waits.size());
+  EXPECT_NEAR(mean, 0.5, 0.1);
+}
+
+TEST(LindleyWaitsTest, Validation) {
+  const std::vector<double> service = {1.0, 1.0, 1.0};
+  const std::vector<double> gaps = {1.0};  // too few
+  EXPECT_THROW(lindley_waits(service, gaps), std::invalid_argument);
+}
+
+TEST(WorkloadSamplesTest, ComputesGFromConsecutiveReceived) {
+  // g_n = rtt_{n+1} - rtt_n + delta.
+  const auto trace = make_trace(20, {150.0, 145.0, std::nullopt, 160.0, 190.0});
+  const auto g = workload_samples_ms(trace);
+  ASSERT_EQ(g.size(), 2u);
+  EXPECT_DOUBLE_EQ(g[0], 15.0);  // 145 - 150 + 20
+  EXPECT_DOUBLE_EQ(g[1], 50.0);  // 190 - 160 + 20
+}
+
+// Synthetic trace with the paper's Fig.-8 structure: compression samples
+// at P/mu, idle samples at delta, and one-FTP-packet samples.
+ProbeTrace fig8_trace(double delta_ms) {
+  // With mu = 128 kb/s, P = 72 B: P/mu = 4.5 ms; one 512-B FTP packet
+  // adds 32 ms, so the "first in a series" samples sit at 36.5 ms.
+  std::vector<std::optional<double>> rtts;
+  double rtt = 150.0;
+  Rng rng(29);
+  for (int i = 0; i < 4000; ++i) {
+    const double u = rng.uniform();
+    double g;
+    if (u < 0.3) {
+      g = 4.5;  // compression
+    } else if (u < 0.8) {
+      g = delta_ms;  // idle
+    } else if (u < 0.95) {
+      g = 36.5;  // one FTP packet
+    } else {
+      g = 68.5;  // two FTP packets
+    }
+    rtt += g - delta_ms;
+    rtt = std::max(rtt, 140.0);
+    rtts.push_back(rtt);
+  }
+  return make_trace(delta_ms, rtts);
+}
+
+TEST(AnalyzeWorkloadTest, FindsPaperPeaks) {
+  const auto trace = fig8_trace(20.0);
+  WorkloadOptions options;
+  options.bottleneck_bps = 128e3;
+  options.bin_ms = 2.0;
+  options.max_ms = 90.0;
+  const WorkloadAnalysis wa = analyze_workload(trace, options);
+
+  // Expect peaks near 4.5 (compression), 20 (idle), 36.5 (1 FTP packet).
+  bool has_compression = false, has_idle = false, has_one_packet = false;
+  for (const auto& peak : wa.peaks) {
+    if (std::abs(peak.position_ms - 5.0) <= 2.0) has_compression = true;
+    if (std::abs(peak.position_ms - 20.0) <= 2.0) has_idle = true;
+    if (std::abs(peak.position_ms - 36.5) <= 2.5) {
+      has_one_packet = true;
+      ASSERT_TRUE(peak.cross_packets.has_value());
+      // b_n = mu * 36.5ms - P = 4096 bits = 512 bytes = 1 FTP packet.
+      EXPECT_NEAR(*peak.cross_packets, 1.0, 0.15);
+      EXPECT_NEAR(peak.workload_bits, 4096.0, 500.0);
+    }
+  }
+  EXPECT_TRUE(has_compression);
+  EXPECT_TRUE(has_idle);
+  EXPECT_TRUE(has_one_packet);
+}
+
+TEST(AnalyzeWorkloadTest, PeakLabelsSkipCompressionAndIdle) {
+  const auto trace = fig8_trace(20.0);
+  WorkloadOptions options;
+  options.bin_ms = 2.0;
+  const WorkloadAnalysis wa = analyze_workload(trace, options);
+  for (const auto& peak : wa.peaks) {
+    if (std::abs(peak.position_ms - 4.5) <= 1.0 ||
+        std::abs(peak.position_ms - 20.0) <= 1.0) {
+      EXPECT_FALSE(peak.cross_packets.has_value()) << peak.position_ms;
+    }
+  }
+}
+
+TEST(AnalyzeWorkloadTest, Validation) {
+  const auto trace = fig8_trace(20.0);
+  WorkloadOptions options;
+  options.bottleneck_bps = 0.0;
+  EXPECT_THROW(analyze_workload(trace, options), std::invalid_argument);
+  EXPECT_THROW(analyze_workload(make_trace(20, {}), {}),
+               std::invalid_argument);
+}
+
+TEST(EstimateBottleneckTest, ExactClockRecoversMu) {
+  const auto trace = fig8_trace(20.0);
+  const BottleneckEstimate estimate = estimate_bottleneck(trace);
+  EXPECT_NEAR(estimate.service_time_ms, 4.5, 0.3);
+  EXPECT_NEAR(estimate.mu_bps, 128e3, 10e3);
+  EXPECT_GT(estimate.cluster_samples, 100u);
+}
+
+TEST(EstimateBottleneckTest, QuantizedClockRecoversMu) {
+  auto trace = fig8_trace(20.0);
+  trace.clock_tick = Duration::micros(3906);
+  for (auto& record : trace.records) {
+    const double tick = 3.906;
+    record.rtt =
+        Duration::millis(std::floor(record.rtt.millis() / tick) * tick);
+  }
+  const BottleneckEstimate estimate = estimate_bottleneck(trace);
+  // Quantization spreads the cluster over two ticks; the pair centroid
+  // lands within roughly half a tick of the truth.
+  EXPECT_NEAR(estimate.service_time_ms, 4.5, 2.0);
+}
+
+ProbeTrace packet_pair_trace(double service_ms, double contamination_rate,
+                             std::uint64_t seed) {
+  // Pairs sent 0.2 ms apart every 100 ms; return spacing = service time,
+  // occasionally inflated by an interleaved cross packet.
+  Rng rng(seed);
+  ProbeTrace trace;
+  trace.delta = Duration::millis(50);  // nominal
+  trace.probe_wire_bytes = 72;
+  std::uint64_t seq = 0;
+  for (int pair = 0; pair < 400; ++pair) {
+    const double base_ms = 100.0 * pair;
+    const double rtt1 = 140.0 + rng.uniform(0.0, 30.0);
+    ProbeRecord first;
+    first.seq = seq++;
+    first.send_time = Duration::millis(base_ms);
+    first.received = true;
+    first.rtt = Duration::millis(rtt1);
+    trace.records.push_back(first);
+
+    double spacing = service_ms;
+    if (rng.chance(contamination_rate)) spacing += 32.0;  // FTP interleave
+    ProbeRecord second;
+    second.seq = seq++;
+    second.send_time = Duration::millis(base_ms + 0.2);
+    second.received = true;
+    // r2 = r1 + spacing  =>  rtt2 = rtt1 + spacing - send_gap.
+    second.rtt = Duration::millis(rtt1 + spacing - 0.2);
+    trace.records.push_back(second);
+  }
+  return trace;
+}
+
+TEST(PacketPairTest, RecoversServiceTime) {
+  const auto trace = packet_pair_trace(4.5, 0.0, 3);
+  const auto estimate = estimate_bottleneck_packet_pair(trace);
+  EXPECT_NEAR(estimate.service_time_ms, 4.5, 0.05);
+  EXPECT_NEAR(estimate.mu_bps, 128e3, 2e3);
+  EXPECT_NEAR(estimate.cluster_fraction, 1.0, 1e-9);
+}
+
+TEST(PacketPairTest, RobustToInterleavedCrossTraffic) {
+  const auto trace = packet_pair_trace(4.5, 0.3, 5);
+  const auto estimate = estimate_bottleneck_packet_pair(trace);
+  EXPECT_NEAR(estimate.service_time_ms, 4.5, 0.3);
+  EXPECT_NEAR(estimate.cluster_fraction, 0.7, 0.08);
+}
+
+TEST(PacketPairTest, IgnoresWideSendGaps) {
+  // A trace with only delta-spaced probes has no pairs.
+  std::vector<std::optional<double>> rtts(100, 150.0);
+  EXPECT_THROW(
+      estimate_bottleneck_packet_pair(testing::make_trace(50, rtts)),
+      std::invalid_argument);
+}
+
+TEST(EstimateBottleneckTest, ThrowsWithoutCompressionCluster) {
+  // Uncongested: all g == delta.
+  std::vector<std::optional<double>> rtts(200, 150.0);
+  EXPECT_THROW(estimate_bottleneck(make_trace(500.0, rtts)),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bolot::analysis

@@ -1,0 +1,130 @@
+#include "analysis/phase_plot.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tests/analysis/trace_fixtures.h"
+#include "util/rng.h"
+
+namespace bolot::analysis {
+namespace {
+
+using testing::make_trace;
+
+TEST(BuildPhasePlotTest, PairsConsecutiveReceivedProbes) {
+  const auto trace =
+      make_trace(50, {100.0, 110.0, std::nullopt, 120.0, 130.0});
+  const PhasePlot plot = build_phase_plot(trace);
+  // Pairs: (0,1), (3,4); pairs (1,2) and (2,3) are broken by the loss.
+  ASSERT_EQ(plot.size(), 2u);
+  EXPECT_EQ(plot.x[0], 100.0);
+  EXPECT_EQ(plot.y[0], 110.0);
+  EXPECT_EQ(plot.x[1], 120.0);
+  EXPECT_EQ(plot.y[1], 130.0);
+}
+
+TEST(BuildPhasePlotTest, EmptyAndAllLost) {
+  EXPECT_EQ(build_phase_plot(make_trace(50, {})).size(), 0u);
+  EXPECT_EQ(
+      build_phase_plot(make_trace(50, {std::nullopt, std::nullopt})).size(),
+      0u);
+  EXPECT_THROW(analyze_phase_plot(make_trace(50, {})), std::invalid_argument);
+}
+
+TEST(AnalyzePhasePlotTest, FixedDelayIsMinimumRtt) {
+  const auto trace = make_trace(50, {150.0, 141.0, 160.0, 170.0});
+  const PhaseAnalysis a = analyze_phase_plot(trace);
+  EXPECT_DOUBLE_EQ(a.fixed_delay_ms, 141.0);
+}
+
+// Synthesize the paper's Fig.-2 geometry: a compression episode where
+// rtts descend in exact steps of delta - P/mu, plus diagonal noise.
+ProbeTrace compression_trace(double delta_ms, double service_ms,
+                             double tick_ms = 0.0) {
+  std::vector<std::optional<double>> rtts;
+  Rng rng(17);
+  double level = 145.0;
+  for (int block = 0; block < 60; ++block) {
+    // Diagonal segment: slowly varying rtts.
+    for (int i = 0; i < 10; ++i) {
+      level = 145.0 + rng.uniform(0.0, 2.0);
+      rtts.push_back(level);
+    }
+    // Compression episode: a jump followed by a descending staircase.
+    double rtt = 145.0 + 5.0 * (delta_ms - service_ms);
+    while (rtt > 145.0 + (delta_ms - service_ms)) {
+      rtts.push_back(rtt);
+      rtt -= (delta_ms - service_ms);
+    }
+  }
+  auto trace = make_trace(delta_ms, rtts, 72, tick_ms);
+  if (tick_ms > 0.0) {
+    // Quantize rtts the way a coarse source clock would.
+    for (auto& record : trace.records) {
+      const double q =
+          std::floor(record.rtt.millis() / tick_ms) * tick_ms;
+      record.rtt = Duration::millis(q);
+    }
+  }
+  return trace;
+}
+
+TEST(AnalyzePhasePlotTest, RecoversCompressionInterceptExactClock) {
+  // delta = 50, P/mu = 4.5 ms -> intercept c = 45.5 ms.
+  const auto trace = compression_trace(50.0, 4.5);
+  const PhaseAnalysis a = analyze_phase_plot(trace);
+  ASSERT_TRUE(a.compression_intercept_ms.has_value());
+  EXPECT_NEAR(*a.compression_intercept_ms, 45.5, 0.3);
+  ASSERT_TRUE(a.bottleneck_bps.has_value());
+  EXPECT_NEAR(*a.bottleneck_bps, 128e3, 10e3);
+  EXPECT_GT(a.compression_fraction, 0.1);
+  EXPECT_GT(a.diagonal_fraction, 0.3);
+}
+
+TEST(AnalyzePhasePlotTest, RecoversInterceptUnderQuantization) {
+  // Same geometry, but rtts floored to the DECstation tick.
+  const auto trace = compression_trace(50.0, 4.5, 3.906);
+  const PhaseAnalysis a = analyze_phase_plot(trace);
+  ASSERT_TRUE(a.compression_intercept_ms.has_value());
+  // The discrete mode-pair centroid stays within a tick of the truth.
+  EXPECT_NEAR(*a.compression_intercept_ms, 45.5, 3.906);
+}
+
+TEST(AnalyzePhasePlotTest, NoCompressionMeansNoIntercept) {
+  // Pure diagonal scatter (the paper's Fig.-4 regime).
+  std::vector<std::optional<double>> rtts;
+  Rng rng(23);
+  for (int i = 0; i < 500; ++i) {
+    rtts.push_back(145.0 + rng.uniform(0.0, 3.0));
+  }
+  const PhaseAnalysis a = analyze_phase_plot(make_trace(500.0, rtts));
+  EXPECT_FALSE(a.compression_intercept_ms.has_value());
+  EXPECT_FALSE(a.bottleneck_bps.has_value());
+  EXPECT_EQ(a.compression_fraction, 0.0);
+  EXPECT_GT(a.diagonal_fraction, 0.9);
+}
+
+TEST(AnalyzePhasePlotTest, DiagonalFractionCountsSmallDescents) {
+  const auto trace = make_trace(50, {100.0, 101.0, 100.5, 100.0});
+  const PhaseAnalysis a = analyze_phase_plot(trace);
+  EXPECT_DOUBLE_EQ(a.diagonal_fraction, 1.0);
+}
+
+// Property sweep: the intercept estimator tracks the configured service
+// time across a range of bottleneck rates.
+class InterceptSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(InterceptSweep, InterceptMatchesServiceTime) {
+  const double service_ms = GetParam();
+  const auto trace = compression_trace(50.0, service_ms);
+  const PhaseAnalysis a = analyze_phase_plot(trace);
+  ASSERT_TRUE(a.compression_intercept_ms.has_value());
+  EXPECT_NEAR(*a.compression_intercept_ms, 50.0 - service_ms, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(ServiceTimes, InterceptSweep,
+                         ::testing::Values(2.0, 4.5, 8.0, 12.0, 20.0));
+
+}  // namespace
+}  // namespace bolot::analysis

@@ -1,0 +1,59 @@
+#include "analysis/probe_trace.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/analysis/trace_fixtures.h"
+
+namespace bolot::analysis {
+namespace {
+
+using testing::make_trace;
+
+TEST(ProbeTraceTest, Counts) {
+  const auto trace = make_trace(50, {100.0, std::nullopt, 120.0});
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.received_count(), 2u);
+  EXPECT_EQ(trace.lost_count(), 1u);
+}
+
+TEST(ProbeTraceTest, RttWithLossesUsesZeroConvention) {
+  const auto trace = make_trace(50, {100.0, std::nullopt, 120.0});
+  const auto rtts = trace.rtt_ms_with_losses();
+  ASSERT_EQ(rtts.size(), 3u);
+  EXPECT_EQ(rtts[0], 100.0);
+  EXPECT_EQ(rtts[1], 0.0);  // the paper's rtt_n = 0 for lost probes
+  EXPECT_EQ(rtts[2], 120.0);
+}
+
+TEST(ProbeTraceTest, RttReceivedSkipsLosses) {
+  const auto trace = make_trace(50, {100.0, std::nullopt, 120.0});
+  const auto rtts = trace.rtt_ms_received();
+  ASSERT_EQ(rtts.size(), 2u);
+  EXPECT_EQ(rtts[0], 100.0);
+  EXPECT_EQ(rtts[1], 120.0);
+}
+
+TEST(ProbeTraceTest, LossIndicators) {
+  const auto trace = make_trace(50, {100.0, std::nullopt, 120.0});
+  const auto losses = trace.loss_indicators();
+  EXPECT_EQ(losses, (std::vector<std::uint8_t>{0, 1, 0}));
+}
+
+TEST(ProbeTraceTest, EmptyTrace) {
+  const auto trace = make_trace(50, {});
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.received_count(), 0u);
+  EXPECT_TRUE(trace.rtt_ms_with_losses().empty());
+  EXPECT_TRUE(trace.rtt_ms_received().empty());
+}
+
+TEST(ProbeTraceTest, SendTimesFollowDelta) {
+  const auto trace = make_trace(20, {100.0, 101.0, 102.0});
+  EXPECT_EQ(trace.records[1].send_time - trace.records[0].send_time,
+            Duration::millis(20));
+  EXPECT_EQ(trace.records[2].send_time - trace.records[1].send_time,
+            Duration::millis(20));
+}
+
+}  // namespace
+}  // namespace bolot::analysis

@@ -1,0 +1,85 @@
+#include "analysis/reorder.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/analysis/trace_fixtures.h"
+#include "util/rng.h"
+
+namespace bolot::analysis {
+namespace {
+
+using testing::make_trace;
+
+TEST(ReorderTest, FifoPathHasNoOvertakes) {
+  // rtts vary but never enough to overcome the delta spacing.
+  const auto trace = make_trace(50, {140.0, 145.0, 142.0, 141.0});
+  const auto stats = reorder_stats(trace);
+  EXPECT_EQ(stats.comparable_pairs, 3u);
+  EXPECT_EQ(stats.overtakes, 0u);
+  EXPECT_EQ(stats.overtake_fraction, 0.0);
+}
+
+TEST(ReorderTest, DetectsOvertaking) {
+  // Probe 0 sent at t=0 with rtt 200 returns at 200; probe 1 sent at 50
+  // with rtt 60 returns at 110 < 200: it overtook probe 0.
+  const auto trace = make_trace(50, {200.0, 60.0, 70.0});
+  const auto stats = reorder_stats(trace);
+  EXPECT_EQ(stats.comparable_pairs, 2u);
+  EXPECT_EQ(stats.overtakes, 1u);
+  EXPECT_DOUBLE_EQ(stats.overtake_fraction, 0.5);
+}
+
+TEST(ReorderTest, LostProbesBreakPairs) {
+  // Probe 0 would be overtaken by probe 2 (200 at t=0 vs 60 at t=100),
+  // but the loss at seq 1 breaks the pair, so only (2,3) is comparable.
+  const auto trace = make_trace(50, {200.0, std::nullopt, 60.0, 70.0});
+  const auto stats = reorder_stats(trace);
+  EXPECT_EQ(stats.comparable_pairs, 1u);
+  EXPECT_EQ(stats.overtakes, 0u);
+}
+
+TEST(ReorderTest, ThrowsWithNoPairs) {
+  EXPECT_THROW(reorder_stats(make_trace(50, {100.0})), std::invalid_argument);
+  EXPECT_THROW(reorder_stats(make_trace(50, {200.0, std::nullopt, 60.0})),
+               std::invalid_argument);
+}
+
+TEST(LossDelayCorrelationTest, PositiveWhenLossesFollowHighDelay) {
+  // Construct congestion episodes: rtt ramps up, then losses occur.
+  std::vector<std::optional<double>> rtts;
+  Rng rng(3);
+  for (int block = 0; block < 200; ++block) {
+    for (int i = 0; i < 8; ++i) rtts.push_back(140.0 + rng.uniform(0.0, 2.0));
+    rtts.push_back(400.0);  // congestion builds
+    rtts.push_back(std::nullopt);  // and the next probe is lost
+  }
+  const double corr = loss_delay_correlation(make_trace(50, rtts));
+  EXPECT_GT(corr, 0.5);
+}
+
+TEST(LossDelayCorrelationTest, NearZeroForRandomLoss) {
+  std::vector<std::optional<double>> rtts;
+  Rng rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.chance(0.1)) {
+      rtts.push_back(std::nullopt);
+    } else {
+      rtts.push_back(140.0 + rng.uniform(0.0, 100.0));
+    }
+  }
+  const double corr = loss_delay_correlation(make_trace(50, rtts));
+  EXPECT_NEAR(corr, 0.0, 0.05);
+}
+
+TEST(LossDelayCorrelationTest, ThrowsOnDegenerateInput) {
+  // No losses -> loss indicator constant -> pearson throws.
+  EXPECT_THROW(loss_delay_correlation(make_trace(50, {140.0, 141.0, 142.0})),
+               std::invalid_argument);
+  // Nothing received at all -> no usable pairs.
+  EXPECT_THROW(
+      loss_delay_correlation(make_trace(50, {std::nullopt, std::nullopt})),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bolot::analysis

@@ -1,0 +1,47 @@
+// Helpers to synthesize ProbeTrace fixtures for analysis tests.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "analysis/probe_trace.h"
+
+namespace bolot::analysis::testing {
+
+/// Builds a trace from per-probe rtts in ms; nullopt marks a lost probe.
+inline ProbeTrace make_trace(double delta_ms,
+                             const std::vector<std::optional<double>>& rtts,
+                             std::int64_t probe_wire_bytes = 72,
+                             double clock_tick_ms = 0.0) {
+  ProbeTrace trace;
+  trace.delta = Duration::millis(delta_ms);
+  trace.probe_wire_bytes = probe_wire_bytes;
+  trace.clock_tick = Duration::millis(clock_tick_ms);
+  for (std::size_t n = 0; n < rtts.size(); ++n) {
+    ProbeRecord record;
+    record.seq = n;
+    record.send_time = Duration::millis(delta_ms * static_cast<double>(n));
+    if (rtts[n]) {
+      record.received = true;
+      record.rtt = Duration::millis(*rtts[n]);
+    }
+    trace.records.push_back(record);
+  }
+  return trace;
+}
+
+/// Builds a trace from a loss indicator string: '.' received (rtt 100 ms),
+/// 'x' lost.  Compact notation for loss-process tests.
+inline ProbeTrace make_loss_trace(const char* pattern, double delta_ms = 50) {
+  std::vector<std::optional<double>> rtts;
+  for (const char* p = pattern; *p != '\0'; ++p) {
+    if (*p == 'x') {
+      rtts.push_back(std::nullopt);
+    } else {
+      rtts.push_back(100.0);
+    }
+  }
+  return make_trace(delta_ms, rtts);
+}
+
+}  // namespace bolot::analysis::testing

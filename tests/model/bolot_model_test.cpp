@@ -1,0 +1,200 @@
+#include "model/bolot_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/lindley.h"
+#include "analysis/loss.h"
+#include "analysis/phase_plot.h"
+#include "analysis/stats.h"
+
+namespace bolot::model {
+namespace {
+
+ModelConfig base_config() {
+  ModelConfig config;
+  config.mu_bps = 128e3;
+  config.probe_bits = 72 * 8;
+  config.delta = Duration::millis(20);
+  config.fixed_rtt = Duration::millis(140);
+  config.buffer_packets = 16;
+  config.probe_count = 20000;
+  config.batch_phase = 0.5;
+  return config;
+}
+
+TEST(RunModelTest, NoCrossTrafficGivesConstantMinimalRtt) {
+  ModelConfig config = base_config();
+  config.batch_bits = [](Rng&) { return 0.0; };
+  const ModelRun run = run_model(config);
+  EXPECT_EQ(run.probes_lost, 0u);
+  EXPECT_EQ(run.trace.received_count(), config.probe_count);
+  // Every probe: rtt = D + P/mu (no queueing).
+  const Duration expected = Duration::millis(140.0 + 4.5);
+  for (const auto& record : run.trace.records) {
+    EXPECT_EQ(record.rtt, expected);
+  }
+}
+
+TEST(RunModelTest, LindleyRecursionMatchesHandComputation) {
+  // One deterministic batch of exactly one 512-B packet (32 ms of
+  // service) per interval, arriving mid-interval, delta = 20 ms.
+  // rho = (4.5 + 32) / 20 > 1: the queue grows until the buffer caps it.
+  ModelConfig config = base_config();
+  config.batch_bits = [](Rng&) { return 512.0 * 8.0; };
+  config.probe_count = 200;
+  const ModelRun run = run_model(config);
+
+  // Hand evaluation: probe 0 waits 0 and finishes at 4.5 ms; the queue
+  // then idles until the batch lands at t = 10 ms, so probe 1 finds
+  // 32 - 10 = 22 ms of backlog.  From then on the server never idles and
+  // waits grow by (P + b)/mu - delta = 16.5 ms per interval.
+  ASSERT_GE(run.waits_ms.size(), 4u);
+  EXPECT_NEAR(run.waits_ms[0], 0.0, 1e-9);
+  EXPECT_NEAR(run.waits_ms[1], 22.0, 1e-9);
+  EXPECT_NEAR(run.waits_ms[2], 38.5, 1e-9);
+  EXPECT_NEAR(run.waits_ms[3], 55.0, 1e-9);
+  EXPECT_GT(run.probes_lost, 0u);
+}
+
+TEST(RunModelTest, OverloadedQueueDropsProbesAndCross) {
+  ModelConfig config = base_config();
+  // Two FTP packets per interval: heavily overloaded.
+  config.batch_bits = [](Rng&) { return 2.0 * 512.0 * 8.0; };
+  const ModelRun run = run_model(config);
+  EXPECT_GT(run.probes_lost, config.probe_count / 2);
+  EXPECT_GT(run.batch_bits_dropped, 0u);
+}
+
+TEST(RunModelTest, CompressionEmergesFromTheRecursion) {
+  // The paper's section-6 claim: the model "brings out the probe
+  // compression phenomenon".  Occasional multi-packet batches create
+  // busy periods in which consecutive probes drain back to back.
+  ModelConfig config = base_config();
+  config.batch_bits =
+      bulk_interactive_mix(0.10, 6.0, 512, 0.30, 64);
+  config.seed = 7;
+  const ModelRun run = run_model(config);
+  const auto phase = analysis::analyze_phase_plot(run.trace);
+  ASSERT_TRUE(phase.compression_intercept_ms.has_value());
+  // Intercept = delta - P/mu = 15.5 ms.
+  EXPECT_NEAR(*phase.compression_intercept_ms, 15.5, 1.0);
+  EXPECT_GT(phase.compression_fraction, 0.02);
+}
+
+TEST(RunModelTest, BottleneckEstimatorRecoversMuFromModelTrace) {
+  ModelConfig config = base_config();
+  config.batch_bits = bulk_interactive_mix(0.10, 6.0, 512, 0.30, 64);
+  const ModelRun run = run_model(config);
+  const auto estimate = analysis::estimate_bottleneck(run.trace);
+  EXPECT_NEAR(estimate.mu_bps, 128e3, 15e3);
+}
+
+TEST(RunModelTest, LightLoadLossesAreRare) {
+  ModelConfig config = base_config();
+  config.batch_bits = bulk_interactive_mix(0.02, 2.0, 512, 0.10, 64);
+  const ModelRun run = run_model(config);
+  const auto loss = analysis::loss_stats(run.trace);
+  EXPECT_LT(loss.ulp, 0.01);
+}
+
+TEST(RunModelTest, DeterministicForFixedSeed) {
+  ModelConfig config = base_config();
+  config.batch_bits = bulk_interactive_mix(0.1, 4.0, 512, 0.2, 64);
+  config.seed = 99;
+  const ModelRun a = run_model(config);
+  const ModelRun b = run_model(config);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace.records[i].rtt, b.trace.records[i].rtt);
+    EXPECT_EQ(a.trace.records[i].received, b.trace.records[i].received);
+  }
+}
+
+TEST(RunModelTest, RandomPhaseStillConserved) {
+  ModelConfig config = base_config();
+  config.batch_phase = -1.0;  // uniform random
+  config.batch_bits = bulk_interactive_mix(0.1, 4.0, 512, 0.2, 64);
+  const ModelRun run = run_model(config);
+  EXPECT_EQ(run.trace.size(), config.probe_count);
+  EXPECT_EQ(run.batches_bits.size(), config.probe_count);
+}
+
+TEST(RunModelTest, Validation) {
+  ModelConfig config = base_config();
+  EXPECT_THROW(run_model(config), std::invalid_argument);  // no batch dist
+  config.batch_bits = [](Rng&) { return 0.0; };
+  config.mu_bps = 0.0;
+  EXPECT_THROW(run_model(config), std::invalid_argument);
+  config = base_config();
+  config.batch_bits = [](Rng&) { return 0.0; };
+  config.batch_phase = 1.5;
+  EXPECT_THROW(run_model(config), std::invalid_argument);
+  config = base_config();
+  config.batch_bits = [](Rng&) { return 0.0; };
+  config.buffer_packets = 0;
+  EXPECT_THROW(run_model(config), std::invalid_argument);
+}
+
+TEST(BulkInteractiveMixTest, ProbabilitiesAndSizes) {
+  auto dist = bulk_interactive_mix(0.2, 4.0, 512, 0.3, 64);
+  Rng rng(5);
+  int bulk = 0, interactive = 0, idle = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double bits = dist(rng);
+    if (bits == 0.0) {
+      ++idle;
+    } else if (bits == 64.0 * 8.0) {
+      ++interactive;
+    } else {
+      ++bulk;
+      EXPECT_EQ(std::fmod(bits, 512.0 * 8.0), 0.0);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(bulk) / n, 0.2, 0.01);
+  EXPECT_NEAR(static_cast<double>(interactive) / n, 0.3, 0.01);
+  EXPECT_NEAR(static_cast<double>(idle) / n, 0.5, 0.01);
+}
+
+TEST(BulkInteractiveMixTest, Validation) {
+  EXPECT_THROW(bulk_interactive_mix(0.7, 4.0, 512, 0.5, 64),
+               std::invalid_argument);
+  EXPECT_THROW(bulk_interactive_mix(0.2, 0.5, 512, 0.3, 64),
+               std::invalid_argument);
+}
+
+TEST(EmpiricalBatchesTest, ResamplesFromSample) {
+  auto dist = empirical_batches({100.0, 200.0, 300.0});
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double bits = dist(rng);
+    EXPECT_TRUE(bits == 100.0 || bits == 200.0 || bits == 300.0);
+  }
+  EXPECT_THROW(empirical_batches({}), std::invalid_argument);
+}
+
+// Property: mean wait grows with load (sweep over batch sizes).
+class LoadSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LoadSweep, MeanWaitMonotoneInLoad) {
+  // Compare load rho and rho + 0.2 via mean wait.
+  const auto run_at = [](double load) {
+    ModelConfig config = base_config();
+    config.buffer_packets = 1000;  // effectively infinite
+    const double batch_bits =
+        load * config.mu_bps * config.delta.seconds() - 576.0;
+    config.batch_bits = [batch_bits](Rng& rng) {
+      return rng.exponential(batch_bits);
+    };
+    const ModelRun run = run_model(config);
+    return analysis::summarize(run.waits_ms).mean;
+  };
+  EXPECT_LT(run_at(GetParam()), run_at(GetParam() + 0.2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, LoadSweep, ::testing::Values(0.3, 0.5, 0.7));
+
+}  // namespace
+}  // namespace bolot::model

@@ -1,0 +1,116 @@
+#include "model/stationary.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/stats.h"
+
+namespace bolot::model {
+namespace {
+
+ModelConfig base_config() {
+  ModelConfig config;
+  config.mu_bps = 128e3;
+  config.probe_bits = 72 * 8;   // 4.5 ms service
+  config.delta = Duration::millis(20);
+  config.buffer_packets = 16;
+  config.batch_packet_bits = 512 * 8;
+  config.batch_phase = 0.5;
+  return config;
+}
+
+TEST(StationaryTest, NoCrossTrafficConcentratesAtZero) {
+  const auto dist = solve_stationary_waits(base_config(), {{0.0, 1.0}});
+  EXPECT_NEAR(dist.pmf()[0], 1.0, 1e-9);
+  EXPECT_NEAR(dist.mean_ms(), 0.0, 1e-9);
+  EXPECT_NEAR(dist.tail_probability(1.0), 0.0, 1e-9);
+}
+
+TEST(StationaryTest, DeterministicOverloadPinsAtBuffer) {
+  // One 512-B packet (32 ms) per 20-ms interval: rho > 1, the stationary
+  // wait concentrates at the buffer cap (512 ms of work).
+  const auto dist =
+      solve_stationary_waits(base_config(), {{512.0 * 8.0, 1.0}});
+  EXPECT_GT(dist.quantile_ms(0.5), 400.0);
+  EXPECT_GT(dist.tail_probability(400.0), 0.9);
+}
+
+TEST(StationaryTest, MatchesMonteCarloQuantiles) {
+  // The solver and run_model evaluate the same recursion; their wait
+  // distributions must agree.  Use a large buffer so the fluid (work)
+  // buffer view of the solver matches the packet view of the simulation.
+  ModelConfig config = base_config();
+  config.buffer_packets = 400;
+  config.probe_count = 400000;
+  config.seed = 5;
+  const std::vector<BatchAtom> pmf = {
+      {0.0, 0.55}, {512.0, 0.25}, {512.0 * 8.0, 0.20}};
+  config.batch_bits = [&pmf](Rng& rng) {
+    const double u = rng.uniform();
+    double cumulative = 0.0;
+    for (const auto& [bits, probability] : pmf) {
+      cumulative += probability;
+      if (u < cumulative) return bits;
+    }
+    return pmf.back().first;
+  };
+
+  const ModelRun run = run_model(config);
+  StationaryOptions options;
+  options.grid_ms = 0.25;
+  const auto dist = solve_stationary_waits(config, pmf, options);
+
+  const auto mc = run.waits_ms;
+  EXPECT_NEAR(dist.mean_ms(), analysis::summarize(mc).mean, 0.8);
+  EXPECT_NEAR(dist.quantile_ms(0.9), analysis::quantile(mc, 0.9), 1.5);
+  EXPECT_NEAR(dist.quantile_ms(0.99), analysis::quantile(mc, 0.99), 3.0);
+}
+
+TEST(StationaryTest, HeavierBatchesShiftTheDistributionRight) {
+  const auto light = solve_stationary_waits(
+      base_config(), {{0.0, 0.8}, {512.0 * 8.0, 0.2}});
+  const auto heavy = solve_stationary_waits(
+      base_config(), {{0.0, 0.5}, {512.0 * 8.0, 0.5}});
+  EXPECT_GT(heavy.mean_ms(), light.mean_ms());
+  EXPECT_GT(heavy.tail_probability(100.0), light.tail_probability(100.0));
+}
+
+TEST(StationaryTest, PmfIsNormalized) {
+  const auto dist = solve_stationary_waits(
+      base_config(), {{0.0, 0.6}, {4096.0, 0.4}});
+  double total = 0.0;
+  for (double mass : dist.pmf()) total += mass;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(dist.iterations(), 1u);
+}
+
+TEST(StationaryTest, RandomPhaseAveragesOverPhases) {
+  ModelConfig config = base_config();
+  config.batch_phase = -1.0;
+  const auto dist = solve_stationary_waits(
+      config, {{0.0, 0.7}, {512.0 * 8.0, 0.3}});
+  double total = 0.0;
+  for (double mass : dist.pmf()) total += mass;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(StationaryTest, Validation) {
+  EXPECT_THROW(solve_stationary_waits(base_config(), {}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      solve_stationary_waits(base_config(), {{0.0, 0.5}, {100.0, 0.2}}),
+      std::invalid_argument);  // probabilities don't sum to 1
+  EXPECT_THROW(solve_stationary_waits(base_config(), {{-5.0, 1.0}}),
+               std::invalid_argument);
+  StationaryOptions options;
+  options.grid_ms = 0.0;
+  EXPECT_THROW(
+      solve_stationary_waits(base_config(), {{0.0, 1.0}}, options),
+      std::invalid_argument);
+  const auto dist = solve_stationary_waits(base_config(), {{0.0, 1.0}});
+  EXPECT_THROW((void)dist.quantile_ms(1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bolot::model

@@ -1,0 +1,90 @@
+#include "netdyn/wire_format.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bolot::netdyn {
+namespace {
+
+TEST(WireFormatTest, PacketIs32Bytes) {
+  // The paper: "we send probe packets of 32 bytes each", carrying three
+  // 6-byte timestamps and a packet number.
+  EXPECT_EQ(kProbePacketSize, 32u);
+  ProbeMessage msg;
+  EXPECT_EQ(encode_probe(msg).size(), 32u);
+}
+
+TEST(WireFormatTest, RoundTripsAllFields) {
+  ProbeMessage msg;
+  msg.seq = 123456789;
+  msg.source_ts = Duration::millis(1000.125);
+  msg.echo_ts = Duration::millis(1070.250);
+  msg.destination_ts = Duration::millis(1140.375);
+  const auto wire = encode_probe(msg);
+  const auto decoded = decode_probe(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->seq, msg.seq);
+  EXPECT_EQ(decoded->source_ts, msg.source_ts);
+  EXPECT_EQ(decoded->echo_ts, msg.echo_ts);
+  EXPECT_EQ(decoded->destination_ts, msg.destination_ts);
+}
+
+TEST(WireFormatTest, RejectsWrongSize) {
+  const std::vector<std::byte> short_datagram(16);
+  EXPECT_FALSE(decode_probe(short_datagram).has_value());
+  const std::vector<std::byte> long_datagram(64);
+  EXPECT_FALSE(decode_probe(long_datagram).has_value());
+}
+
+TEST(WireFormatTest, RejectsBadMagic) {
+  ProbeMessage msg;
+  auto wire = encode_probe(msg);
+  wire[0] = std::byte{'X'};
+  std::vector<std::byte> datagram(wire.begin(), wire.end());
+  EXPECT_FALSE(decode_probe(datagram).has_value());
+}
+
+TEST(WireFormatTest, StampEchoInPlaceOnlyTouchesEchoField) {
+  ProbeMessage msg;
+  msg.seq = 42;
+  msg.source_ts = Duration::millis(500);
+  auto wire = encode_probe(msg);
+  std::vector<std::byte> datagram(wire.begin(), wire.end());
+  stamp_echo_in_place(datagram, Duration::millis(777));
+  const auto decoded = decode_probe(datagram);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->seq, 42u);
+  EXPECT_EQ(decoded->source_ts, Duration::millis(500));
+  EXPECT_EQ(decoded->echo_ts, Duration::millis(777));
+  EXPECT_EQ(decoded->destination_ts, Duration::zero());
+}
+
+TEST(WireFormatTest, StampEchoValidatesSize) {
+  std::vector<std::byte> datagram(16);
+  EXPECT_THROW(stamp_echo_in_place(datagram, Duration::millis(1)),
+               std::invalid_argument);
+}
+
+TEST(WireFormatTest, SequenceNumberBigEndian) {
+  ProbeMessage msg;
+  msg.seq = 0x01020304;
+  const auto wire = encode_probe(msg);
+  EXPECT_EQ(wire[4], std::byte{0x01});
+  EXPECT_EQ(wire[5], std::byte{0x02});
+  EXPECT_EQ(wire[6], std::byte{0x03});
+  EXPECT_EQ(wire[7], std::byte{0x04});
+}
+
+TEST(WireFormatTest, PaddingIsZero) {
+  ProbeMessage msg;
+  msg.seq = UINT32_MAX;
+  msg.source_ts = Duration::millis(999);
+  const auto wire = encode_probe(msg);
+  for (std::size_t i = 26; i < 32; ++i) {
+    EXPECT_EQ(wire[i], std::byte{0}) << i;
+  }
+}
+
+}  // namespace
+}  // namespace bolot::netdyn

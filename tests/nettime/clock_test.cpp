@@ -1,0 +1,75 @@
+#include "nettime/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace bolot {
+namespace {
+
+TEST(SystemClockTest, IsMonotonic) {
+  SystemClock clock;
+  Duration last = clock.now();
+  for (int i = 0; i < 1000; ++i) {
+    const Duration now = clock.now();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+}
+
+TEST(SystemClockTest, AdvancesInRealTime) {
+  SystemClock clock;
+  const Duration start = clock.now();
+  // Busy-wait until the clock moves; a dead clock would hang, so bound
+  // the loop.
+  Duration now = start;
+  for (int i = 0; i < 100000000 && now == start; ++i) now = clock.now();
+  EXPECT_GT(now, start);
+}
+
+TEST(ManualClockTest, AdvanceAndSet) {
+  ManualClock clock;
+  EXPECT_EQ(clock.now(), Duration::zero());
+  clock.advance(Duration::millis(5));
+  EXPECT_EQ(clock.now(), Duration::millis(5));
+  clock.set(Duration::seconds(1));
+  EXPECT_EQ(clock.now(), Duration::seconds(1));
+}
+
+TEST(QuantizedClockTest, FloorsToTick) {
+  ManualClock base;
+  QuantizedClock clock(base, Duration::millis(4));
+  base.set(Duration::millis(7));
+  EXPECT_EQ(clock.now(), Duration::millis(4));
+  base.set(Duration::millis(8));
+  EXPECT_EQ(clock.now(), Duration::millis(8));
+  base.set(Duration::micros(11999));
+  EXPECT_EQ(clock.now(), Duration::millis(8));
+}
+
+TEST(QuantizedClockTest, DecstationTickMatchesPaper) {
+  // The paper's DECstation 5000 resolution: 3.906 ms.
+  EXPECT_EQ(kDecstationTick, Duration::micros(3906));
+  ManualClock base;
+  QuantizedClock clock(base, kDecstationTick);
+  base.set(Duration::millis(140.0));
+  // 140 / 3.906 = 35.84..., so the reading floors to 35 ticks.
+  EXPECT_EQ(clock.now(), Duration::micros(3906) * 35);
+}
+
+TEST(QuantizedClockTest, QuantizeIsIdempotent) {
+  const Duration tick = Duration::micros(3906);
+  const Duration t = Duration::millis(123.456);
+  const Duration once = QuantizedClock::quantize(t, tick);
+  EXPECT_EQ(QuantizedClock::quantize(once, tick), once);
+  EXPECT_LE(once, t);
+  EXPECT_GT(once + tick, t);
+}
+
+TEST(QuantizedClockTest, RejectsNonPositiveTick) {
+  ManualClock base;
+  EXPECT_THROW(QuantizedClock(base, Duration::zero()), std::invalid_argument);
+  EXPECT_THROW(QuantizedClock(base, Duration::millis(-1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bolot

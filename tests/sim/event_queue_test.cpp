@@ -1,0 +1,105 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bolot::sim {
+namespace {
+
+TEST(EventQueueTest, EmptyOnConstruction) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_THROW(queue.next_time(), std::logic_error);
+  EXPECT_THROW(queue.pop(), std::logic_error);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(Duration::millis(30), [&] { order.push_back(3); });
+  queue.schedule(Duration::millis(10), [&] { order.push_back(1); });
+  queue.schedule(Duration::millis(20), [&] { order.push_back(2); });
+  while (!queue.empty()) {
+    auto event = queue.pop();
+    event.fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakInSchedulingOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.schedule(Duration::millis(5), [&order, i] { order.push_back(i); });
+  }
+  while (!queue.empty()) queue.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue queue;
+  int fired = 0;
+  EventHandle handle =
+      queue.schedule(Duration::millis(1), [&fired] { ++fired; });
+  queue.schedule(Duration::millis(2), [&fired] { fired += 10; });
+  handle.cancel();
+  while (!queue.empty()) queue.pop().fn();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(EventQueueTest, CancelIsIdempotentAndSafeAfterFire) {
+  EventQueue queue;
+  int fired = 0;
+  EventHandle handle =
+      queue.schedule(Duration::millis(1), [&fired] { ++fired; });
+  queue.pop().fn();
+  handle.cancel();  // no-op after the event fired
+  handle.cancel();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueueTest, CancelledHeadDoesNotBlockEmptyCheck) {
+  EventQueue queue;
+  EventHandle a = queue.schedule(Duration::millis(1), [] {});
+  a.cancel();
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelled) {
+  EventQueue queue;
+  EventHandle a = queue.schedule(Duration::millis(1), [] {});
+  queue.schedule(Duration::millis(5), [] {});
+  a.cancel();
+  EXPECT_EQ(queue.next_time(), Duration::millis(5));
+}
+
+TEST(EventQueueTest, RejectsSchedulingIntoThePast) {
+  EventQueue queue;
+  queue.schedule(Duration::millis(10), [] {});
+  queue.pop().fn();
+  EXPECT_THROW(queue.schedule(Duration::millis(5), [] {}), std::logic_error);
+  // Scheduling exactly at the last popped time is allowed.
+  EXPECT_NO_THROW(queue.schedule(Duration::millis(10), [] {}));
+}
+
+TEST(EventQueueTest, DefaultHandleIsInvalid) {
+  EventHandle handle;
+  EXPECT_FALSE(handle.valid());
+  handle.cancel();  // must not crash
+}
+
+TEST(EventQueueTest, EventsCanScheduleMoreEvents) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule(Duration::millis(1), [&] {
+    ++fired;
+    queue.schedule(Duration::millis(2), [&] { ++fired; });
+  });
+  while (!queue.empty()) queue.pop().fn();
+  EXPECT_EQ(fired, 2);
+}
+
+}  // namespace
+}  // namespace bolot::sim

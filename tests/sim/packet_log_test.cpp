@@ -1,0 +1,126 @@
+#include "sim/packet_log.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/network.h"
+
+namespace bolot::sim {
+namespace {
+
+struct LogFixture : public ::testing::Test {
+  LogFixture() : net(simulator) {
+    a = net.add_node("a");
+    b = net.add_node("b");
+    LinkConfig config;
+    config.name = "a->b";
+    config.rate_bps = 128e3;
+    config.propagation = Duration::millis(5);
+    config.buffer_packets = 2;
+    net.add_duplex_link(a, b, config);
+    net.compute_routes();
+  }
+
+  void send(std::uint32_t flow, std::uint64_t id, std::int64_t bytes = 512) {
+    Packet p;
+    p.id = id;
+    p.flow = flow;
+    p.kind = PacketKind::kBulk;
+    p.size_bytes = bytes;
+    p.src = a;
+    p.dst = b;
+    net.send(std::move(p));
+  }
+
+  Simulator simulator;
+  Network net;
+  NodeId a = 0, b = 0;
+};
+
+TEST_F(LogFixture, RecordsDeliveriesWithTimestamps) {
+  PacketLog log;
+  log.attach(simulator, net.link(a, b));
+  send(1, 100);
+  simulator.run_to_completion();
+  const auto& events = log.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, PacketEventKind::kDelivered);
+  EXPECT_EQ(events[0].packet_id, 100u);
+  EXPECT_EQ(events[0].flow, 1u);
+  EXPECT_EQ(events[0].link, "a->b");
+  // 512 B at 128 kb/s = 32 ms service + 5 ms propagation.
+  EXPECT_EQ(events[0].at, Duration::millis(37));
+}
+
+TEST_F(LogFixture, RecordsDropsWithCauseAndTime) {
+  PacketLog log;
+  log.attach(simulator, net.link(a, b));
+  for (std::uint64_t i = 0; i < 4; ++i) send(1, i);
+  simulator.run_to_completion();
+  const auto& events = log.events();
+  // Buffer 2: two delivered, two dropped.
+  std::size_t delivered = 0, dropped = 0;
+  for (const auto& event : events) {
+    if (event.kind == PacketEventKind::kDelivered) ++delivered;
+    if (event.kind == PacketEventKind::kDropped) {
+      ++dropped;
+      EXPECT_EQ(event.cause, DropCause::kOverflow);
+      EXPECT_EQ(event.at, Duration::zero());  // dropped at enqueue time
+    }
+  }
+  EXPECT_EQ(delivered, 2u);
+  EXPECT_EQ(dropped, 2u);
+}
+
+TEST_F(LogFixture, FlowFilterAndDropWindow) {
+  PacketLog log;
+  log.attach(simulator, net.link(a, b));
+  send(1, 1);
+  send(2, 2);
+  send(2, 3);  // dropped (buffer 2)
+  simulator.run_to_completion();
+  EXPECT_EQ(log.for_flow(1).size(), 1u);
+  EXPECT_EQ(log.for_flow(2).size(), 2u);
+  const auto drops =
+      log.drops_between(Duration::zero(), Duration::seconds(1));
+  ASSERT_EQ(drops.size(), 1u);
+  EXPECT_EQ(drops[0].packet_id, 3u);
+}
+
+TEST_F(LogFixture, RingEvictsOldest) {
+  PacketLog log(2);
+  log.attach(simulator, net.link(a, b));
+  // Space sends so nothing queues: 3 deliveries through a 2-slot ring.
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    simulator.schedule_in(Duration::millis(100.0 * i),
+                          [this, i] { send(1, i); });
+  }
+  simulator.run_to_completion();
+  const auto& events = log.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(log.evicted(), 1u);
+  // Oldest (id 0) evicted; order preserved.
+  EXPECT_EQ(events[0].packet_id, 1u);
+  EXPECT_EQ(events[1].packet_id, 2u);
+}
+
+TEST_F(LogFixture, CsvDump) {
+  PacketLog log;
+  log.attach(simulator, net.link(a, b));
+  send(7, 42);
+  simulator.run_to_completion();
+  std::ostringstream os;
+  log.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("at_ns,event,cause,link,packet_id,flow,kind,bytes"),
+            std::string::npos);
+  EXPECT_NE(csv.find("delivered,-,a->b,42,7,bulk,512"), std::string::npos);
+}
+
+TEST_F(LogFixture, RejectsZeroCapacity) {
+  EXPECT_THROW(PacketLog(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bolot::sim

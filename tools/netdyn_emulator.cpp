@@ -1,0 +1,69 @@
+// Standalone UDP path emulator — interpose 1992 Internet conditions in
+// front of any UDP service (not just NetDyn):
+//
+//   netdyn_emulator <listen_port> <target_host> <target_port>
+//                   [delay_ms] [rate_bps] [buffer_pkts] [loss]
+//
+// Defaults reproduce the paper's transatlantic hop: 52 ms one-way delay,
+// 128 kb/s serialization, 14-packet drop-tail buffer, no random loss.
+// Point a prober (or an audio tool) at listen_port and it experiences
+// the INRIA->UMd bottleneck in real time.
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+
+#include "netdyn/emulator.h"
+
+namespace {
+volatile std::sig_atomic_t g_stop = 0;
+void handle_signal(int) { g_stop = 1; }
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bolot;
+  if (argc < 4) {
+    std::cerr << "usage: netdyn_emulator <listen_port> <target_host> "
+                 "<target_port> [delay_ms] [rate_bps] [buffer_pkts] "
+                 "[loss]\n";
+    return 2;
+  }
+  try {
+    const auto listen_port =
+        static_cast<std::uint16_t>(std::strtoul(argv[1], nullptr, 10));
+    netdyn::PathEmulatorConfig config;
+    config.target = netdyn::make_endpoint(
+        argv[2], static_cast<std::uint16_t>(std::strtoul(argv[3], nullptr, 10)));
+    if (argc >= 5) {
+      config.one_way_delay = Duration::millis(std::strtod(argv[4], nullptr));
+    }
+    if (argc >= 6) config.rate_bps = std::strtod(argv[5], nullptr);
+    if (argc >= 7) {
+      config.buffer_packets = std::strtoul(argv[6], nullptr, 10);
+    }
+    if (argc >= 8) config.loss_probability = std::strtod(argv[7], nullptr);
+
+    netdyn::PathEmulator emulator(listen_port, config);
+    emulator.start();
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    std::cout << "emulating path to " << config.target.to_string()
+              << " on UDP port " << emulator.port() << ": delay "
+              << config.one_way_delay.to_string() << ", rate "
+              << config.rate_bps << " b/s, buffer " << config.buffer_packets
+              << " pkts, loss " << config.loss_probability
+              << " (ctrl-c to stop)\n";
+    while (g_stop == 0) {
+      // The worker thread does the relaying; just idle here.
+      struct timespec interval = {0, 200 * 1000 * 1000};
+      nanosleep(&interval, nullptr);
+    }
+    const auto stats = emulator.stats();
+    std::cout << "\nforwarded " << stats.forwarded << ", overflow drops "
+              << stats.overflow_drops << ", random drops "
+              << stats.random_drops << "\n";
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Offline analysis of a saved probe trace:
+//
+//   netdyn_report <trace.csv> [mu_bps]
+//
+// Loads a CSV written by netdyn_probe (or analysis::save_trace_csv) and
+// prints the full section-4/5 report.  Pass the bottleneck rate in bit/s
+// to force the eq.-6 inversion rate; otherwise the compression-peak
+// estimate is used when available.
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/report.h"
+#include "analysis/trace_io.h"
+
+int main(int argc, char** argv) {
+  using namespace bolot;
+  if (argc < 2) {
+    std::cerr << "usage: netdyn_report <trace.csv> [mu_bps]\n";
+    return 2;
+  }
+  try {
+    const analysis::ProbeTrace trace = analysis::load_trace_csv(argv[1]);
+    analysis::ReportOptions options;
+    if (argc >= 3) {
+      options.bottleneck_bps = std::strtod(argv[2], nullptr);
+    }
+    std::cout << analysis::full_report(trace, options);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
