@@ -72,7 +72,10 @@ WorkloadAnalysis analyze_workload(const ProbeTrace& trace,
     // Label peaks that are neither the compression peak (near P/mu) nor the
     // idle peak (near delta) as k reference packets.
     const double service_ms = probe_bits / mu_bits_per_ms;  // P/mu in ms
-    const double half_bin = result.histogram.bin_width();
+    // A peak can only be the compression or idle peak if its *bin* covers
+    // P/mu or delta, i.e. the center lies within half a bin of it; a full
+    // bin's tolerance would swallow the adjacent-bin peaks too.
+    const double half_bin = 0.5 * result.histogram.bin_width();
     const bool is_compression = std::abs(peak.center - service_ms) <= half_bin;
     const bool is_idle = std::abs(peak.center - delta_ms) <= half_bin;
     if (!is_compression && !is_idle && wp.workload_bits > 0.0) {
@@ -203,6 +206,13 @@ BottleneckEstimate estimate_bottleneck(const ProbeTrace& trace,
 
 BottleneckEstimate estimate_bottleneck_packet_pair(
     const ProbeTrace& trace, const PacketPairOptions& options) {
+  // The cluster cut is med * outlier_factor; below 1.0 it can exclude even
+  // the median spacing itself, leaving an empty cluster (and a division by
+  // zero below).  The negation also rejects NaN.
+  if (!(options.outlier_factor >= 1.0)) {
+    throw std::invalid_argument(
+        "estimate_bottleneck_packet_pair: outlier_factor must be >= 1");
+  }
   std::vector<double> spacings_ms;
   const auto& records = trace.records;
   for (std::size_t n = 0; n + 1 < records.size(); ++n) {

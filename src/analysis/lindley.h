@@ -105,11 +105,13 @@ BottleneckEstimate estimate_bottleneck(const ProbeTrace& trace,
 struct PacketPairOptions {
   Duration pair_send_gap = Duration::micros(500);
   /// Pairs whose return spacing exceeds this multiple of the median are
-  /// counted as interleaved (reported via cluster_fraction).
+  /// counted as interleaved (reported via cluster_fraction).  Must be
+  /// >= 1.0 so the cluster always contains at least the median spacing.
   double outlier_factor = 1.5;
 };
 
-/// Throws std::invalid_argument when no back-to-back pair was received.
+/// Throws std::invalid_argument when no back-to-back pair was received or
+/// when options.outlier_factor < 1.0.
 BottleneckEstimate estimate_bottleneck_packet_pair(
     const ProbeTrace& trace, const PacketPairOptions& options = {});
 

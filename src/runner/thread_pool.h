@@ -1,0 +1,51 @@
+// Fixed-size thread pool for the sweep runner.
+//
+// Deliberately work-stealing-free: workers pull jobs from one shared FIFO
+// under a mutex.  Sweep jobs are seconds-long simulations, so queue
+// contention is irrelevant, and the simple structure is easy to reason
+// about under TSan/ASan.  Determinism of sweep results does not depend on
+// the pool at all — each job derives its randomness from its run index —
+// so any scheduling order is acceptable.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bolot::runner {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues a job.  Must not be called after the destructor has begun.
+  void submit(std::function<void()> job);
+
+  /// Blocks until every submitted job has finished running.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  // queued + currently running jobs
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace bolot::runner

@@ -1,6 +1,7 @@
 #include "sim/link.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -23,7 +24,8 @@ Link::Link(Simulator& sim, LinkConfig config, Rng drop_rng)
     if (!(red.min_threshold >= 0.0) ||
         !(red.max_threshold > red.min_threshold) ||
         red.max_probability <= 0.0 || red.max_probability > 1.0 ||
-        red.weight <= 0.0 || red.weight > 1.0) {
+        red.weight <= 0.0 || red.weight > 1.0 ||
+        red.mean_packet_bytes <= 0) {
       throw std::invalid_argument("Link: malformed RED configuration");
     }
   }
@@ -31,8 +33,19 @@ Link::Link(Simulator& sim, LinkConfig config, Rng drop_rng)
 
 bool Link::red_admits(std::size_t queue_length) {
   const RedConfig& red = *config_.red;
-  red_avg_ = (1.0 - red.weight) * red_avg_ +
-             red.weight * static_cast<double>(queue_length);
+  if (queue_length == 0) {
+    // Idle-time correction (Floyd & Jacobson): a packet arriving to an
+    // empty queue sees the average decayed by (1-w)^m for the m
+    // packet-service slots the queue sat empty, as if m small packets had
+    // arrived to an empty queue in the interim.
+    const double slots =
+        (sim_.now() - idle_since_) / service_time(red.mean_packet_bytes);
+    if (slots > 0.0) red_avg_ *= std::pow(1.0 - red.weight, slots);
+    idle_since_ = sim_.now();  // decayed up to now; don't decay this span twice
+  } else {
+    red_avg_ = (1.0 - red.weight) * red_avg_ +
+               red.weight * static_cast<double>(queue_length);
+  }
   if (red_avg_ < red.min_threshold) {
     red_count_ = -1;
     return true;
@@ -108,6 +121,8 @@ void Link::on_transmission_complete() {
     Packet next = std::move(queue_.front());
     queue_.pop_front();
     start_transmission(std::move(next));
+  } else if (queue_.empty()) {
+    idle_since_ = sim_.now();  // queue just went empty (paused or not)
   }
   ++stats_.delivered;
   stats_.bytes_delivered += done.size_bytes;

@@ -23,14 +23,19 @@ namespace bolot::sim {
 /// Random Early Detection (Floyd & Jacobson 1993 — contemporary with the
 /// paper) as an alternative to drop-tail, for the queue-management
 /// ablation.  Thresholds are in packets against the EWMA queue length.
-/// Simplification vs the full algorithm: the average decays only at
-/// arrival instants (no idle-time correction), adequate for the loads the
-/// benches apply.
+/// Implements the full arrival-time update including the idle-time
+/// correction: a packet arriving to an empty queue sees the average
+/// decayed by (1 - weight)^m, where m is the number of typical
+/// packet-service slots the queue sat empty.
 struct RedConfig {
   double min_threshold = 5.0;
   double max_threshold = 15.0;
   double max_probability = 0.1;
   double weight = 0.002;  // EWMA gain w_q
+  /// Typical packet size defining the service-slot length s used by the
+  /// idle-time correction (Floyd & Jacobson's parameter s = transmission
+  /// time of a small packet).
+  std::int64_t mean_packet_bytes = 512;
 };
 
 struct LinkConfig {
@@ -140,6 +145,10 @@ class Link {
   // RED state.
   double red_avg_ = 0.0;
   std::int64_t red_count_ = -1;  // packets since the last RED drop
+  /// When the queue last became empty; the idle-time correction decays
+  /// red_avg_ over [idle_since_, now) on arrival to an empty queue.  The
+  /// link starts idle at t = 0.
+  SimTime idle_since_;
 };
 
 }  // namespace bolot::sim

@@ -12,6 +12,16 @@ constexpr std::uint64_t rotl(std::uint64_t x, int k) {
 }
 }  // namespace
 
+std::uint64_t derive_stream_seed(std::uint64_t base_seed,
+                                 std::uint64_t stream_index) {
+  SplitMix64 base(base_seed);
+  // Offset the index by the golden-ratio constant so stream 0 of base b is
+  // unrelated to stream b of base 0.
+  SplitMix64 mixed(base.next() ^
+                   (stream_index + 0x9E3779B97F4A7C15ULL));
+  return mixed.next();
+}
+
 Rng::Rng(std::uint64_t seed) {
   SplitMix64 sm(seed);
   for (auto& word : s_) word = sm.next();

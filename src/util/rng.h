@@ -31,6 +31,15 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+/// Derives the seed for stream `stream_index` of a family rooted at
+/// `base_seed`.  Two SplitMix64 passes (one over the base, one over the
+/// mix of base hash and index) decorrelate streams even for adjacent
+/// indices and adjacent bases, so a sweep runner can hand run k the seed
+/// `derive_stream_seed(base, k)` and get bit-identical per-run streams
+/// regardless of how runs are scheduled across threads.
+std::uint64_t derive_stream_seed(std::uint64_t base_seed,
+                                 std::uint64_t stream_index);
+
 /// Xoshiro256** with convenience distributions used by the traffic models.
 class Rng {
  public:

@@ -139,6 +139,41 @@ TEST(AnalyzeWorkloadTest, PeakLabelsSkipCompressionAndIdle) {
   }
 }
 
+TEST(AnalyzeWorkloadTest, LabelsPeakOneBinAwayFromDelta) {
+  // Regression: the idle/compression windows are half a bin wide, not a
+  // full bin.  A peak centered exactly one bin away from delta is a
+  // distinct peak (its bin does not cover delta) and must keep its
+  // cross-traffic label.
+  const double delta_ms = 21.0;  // bin center with bin_ms = 2, lo = 0
+  std::vector<std::optional<double>> rtts;
+  double rtt = 150.0;
+  rtts.push_back(rtt);
+  for (int cycle = 0; cycle < 40; ++cycle) {
+    for (int i = 0; i < 10; ++i) {
+      rtt += 2.0;  // g = 23 ms: exactly one bin right of delta
+      rtts.push_back(rtt);
+    }
+    rtt -= 20.0;  // g = 1 ms: keeps the rtt series bounded
+    rtts.push_back(rtt);
+  }
+  const auto trace = make_trace(delta_ms, rtts);
+  WorkloadOptions options;
+  options.bottleneck_bps = 128e3;
+  options.bin_ms = 2.0;
+  options.max_ms = 90.0;  // 45 bins of exactly 2 ms
+  const WorkloadAnalysis wa = analyze_workload(trace, options);
+
+  const WorkloadPeak* near_23 = nullptr;
+  for (const auto& peak : wa.peaks) {
+    if (std::abs(peak.position_ms - 23.0) < 1e-9) near_23 = &peak;
+  }
+  ASSERT_NE(near_23, nullptr);
+  ASSERT_TRUE(near_23->cross_packets.has_value());
+  // b = mu*g - P = 128 bits/ms * 23 ms - 576 bits = 2368 bits.
+  EXPECT_NEAR(near_23->workload_bits, 2368.0, 1e-6);
+  EXPECT_NEAR(*near_23->cross_packets, 2368.0 / 4096.0, 1e-6);
+}
+
 TEST(AnalyzeWorkloadTest, Validation) {
   const auto trace = fig8_trace(20.0);
   WorkloadOptions options;
@@ -215,6 +250,23 @@ TEST(PacketPairTest, RobustToInterleavedCrossTraffic) {
   const auto estimate = estimate_bottleneck_packet_pair(trace);
   EXPECT_NEAR(estimate.service_time_ms, 4.5, 0.3);
   EXPECT_NEAR(estimate.cluster_fraction, 0.7, 0.08);
+}
+
+TEST(PacketPairTest, RejectsOutlierFactorBelowOne) {
+  // Regression: outlier_factor < 1 can exclude even the median spacing
+  // from the cluster, making the centroid a 0/0 division.
+  const auto trace = packet_pair_trace(4.5, 0.0, 3);
+  PacketPairOptions options;
+  options.outlier_factor = 0.5;
+  EXPECT_THROW(estimate_bottleneck_packet_pair(trace, options),
+               std::invalid_argument);
+  options.outlier_factor = std::nan("");
+  EXPECT_THROW(estimate_bottleneck_packet_pair(trace, options),
+               std::invalid_argument);
+  // The boundary value keeps at least the median in the cluster.
+  options.outlier_factor = 1.0;
+  const auto estimate = estimate_bottleneck_packet_pair(trace, options);
+  EXPECT_GT(estimate.cluster_samples, 0u);
 }
 
 TEST(PacketPairTest, IgnoresWideSendGaps) {

@@ -1,0 +1,113 @@
+#include "runner/sweep_io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace bolot::runner {
+namespace {
+
+SweepResult sample_sweep() {
+  SweepResult sweep;
+  sweep.name = "sample";
+  sweep.base_seed = 1993;
+  sweep.threads = 4;
+  sweep.wall_seconds = 1.5;
+
+  RunResult a;
+  a.index = 0;
+  a.label = "delta=8";
+  a.seed = 111;
+  a.params = {{"delta_ms", 8.0}};
+  a.metrics = {{"ulp", 0.25}, {"clp", 0.5}};
+  a.wall_seconds = 0.75;
+  sweep.runs.push_back(a);
+
+  RunResult b;
+  b.index = 1;
+  b.label = "weird \"label\", with comma";
+  b.seed = 222;
+  b.params = {{"delta_ms", 20.0}, {"extra", 1.0}};
+  b.metrics = {{"ulp", 0.125}};  // no clp: CSV cell must be blank
+  b.wall_seconds = 0.25;
+  sweep.runs.push_back(b);
+  return sweep;
+}
+
+TEST(SweepIoTest, JsonCarriesFieldsAndEscapes) {
+  const std::string json = sweep_to_json(sample_sweep());
+  EXPECT_NE(json.find("\"sweep\": \"sample\""), std::string::npos);
+  EXPECT_NE(json.find("\"base_seed\": 1993"), std::string::npos);
+  EXPECT_NE(json.find("\"threads\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"wall_seconds\": 1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"ulp\": 0.25"), std::string::npos);
+  EXPECT_NE(json.find("\"delta_ms\": 8"), std::string::npos);
+  // The quote inside the label must be escaped.
+  EXPECT_NE(json.find("weird \\\"label\\\", with comma"), std::string::npos);
+}
+
+TEST(SweepIoTest, DeterministicOptionsOmitScheduleDependentFields) {
+  const std::string json =
+      sweep_to_json(sample_sweep(), SweepIoOptions::deterministic());
+  EXPECT_EQ(json.find("threads"), std::string::npos);
+  EXPECT_EQ(json.find("wall_seconds"), std::string::npos);
+  const std::string csv =
+      sweep_to_csv(sample_sweep(), SweepIoOptions::deterministic());
+  EXPECT_EQ(csv.find("wall_seconds"), std::string::npos);
+}
+
+TEST(SweepIoTest, CsvUnionColumnsAndQuoting) {
+  const std::string csv = sweep_to_csv(sample_sweep());
+  std::istringstream lines(csv);
+  std::string header, row0, row1;
+  std::getline(lines, header);
+  std::getline(lines, row0);
+  std::getline(lines, row1);
+  EXPECT_EQ(header,
+            "index,label,seed,failed,delta_ms,extra,ulp,clp,wall_seconds");
+  EXPECT_EQ(row0, "0,delta=8,111,0,8,,0.25,0.5,0.75");
+  // Quoted label (embedded quote doubled), blank cell for the missing clp.
+  EXPECT_EQ(row1,
+            "1,\"weird \"\"label\"\", with comma\",222,0,20,1,0.125,,0.25");
+}
+
+TEST(SweepIoTest, FailedRunSerializesError) {
+  SweepResult sweep = sample_sweep();
+  sweep.runs[1].failed = true;
+  sweep.runs[1].error = "boom";
+  const std::string json = sweep_to_json(sweep);
+  EXPECT_NE(json.find("\"error\": \"boom\""), std::string::npos);
+  const std::string csv = sweep_to_csv(sweep);
+  EXPECT_NE(csv.find(",1,20,"), std::string::npos);  // failed flag set
+}
+
+TEST(SweepIoTest, EmptySweepIsValid) {
+  SweepResult sweep;
+  sweep.name = "empty";
+  const std::string json = sweep_to_json(sweep);
+  EXPECT_NE(json.find("\"runs\": []"), std::string::npos);
+  EXPECT_EQ(sweep_to_csv(sweep, SweepIoOptions::deterministic()),
+            "index,label,seed,failed\n");
+}
+
+TEST(SweepIoTest, WriteArtifactsCreatesJsonAndCsv) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "bolot_sweep_io_test" / "nested";
+  fs::remove_all(dir.parent_path());
+  const std::string json_path = write_sweep_artifacts(sample_sweep(), dir);
+  EXPECT_TRUE(fs::exists(dir / "BENCH_sample.json"));
+  EXPECT_TRUE(fs::exists(dir / "BENCH_sample.csv"));
+  EXPECT_EQ(json_path, (dir / "BENCH_sample.json").string());
+  std::ifstream in(json_path);
+  std::stringstream body;
+  body << in.rdbuf();
+  EXPECT_EQ(body.str(), sweep_to_json(sample_sweep()));
+  fs::remove_all(dir.parent_path());
+}
+
+}  // namespace
+}  // namespace bolot::runner

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "sim/link.h"
 
 namespace bolot::sim {
@@ -98,6 +100,78 @@ TEST(RedTest, DropHookReportsRedCause) {
   for (int i = 0; i < 10; ++i) link.enqueue(make_packet());
   EXPECT_GT(red_drops, 0);
   simulator.run_to_completion();
+}
+
+TEST(RedTest, IdleTimeDecaysAverage) {
+  // Floyd & Jacobson idle-time correction: after the queue drains, the
+  // average must decay by (1-w)^m over the m service slots the link sat
+  // idle — without it, a lone packet arriving long after a burst sees the
+  // stale burst-time average and can be RED-dropped on an empty queue.
+  Simulator simulator;
+  LinkConfig config = red_config();
+  config.red->weight = 0.2;
+  config.red->min_threshold = 2.0;
+  config.red->max_threshold = 10.0;
+  Link link(simulator, config, Rng(1));
+  link.set_sink([](Packet&&) {});
+
+  // Back-to-back burst drives the EWMA above max_threshold (every arrival
+  // past that point is a deterministic forced drop).
+  for (int i = 0; i < 40; ++i) link.enqueue(make_packet());
+  ASSERT_GT(link.red_average_queue(), config.red->max_threshold);
+  ASSERT_GT(link.stats().red_drops, 0u);
+
+  // Drain completely, then sit idle for 10 seconds (~312 service slots at
+  // 32 ms per 512-byte packet): the decayed average must be ~0.
+  simulator.run_to_completion();
+  ASSERT_EQ(link.queue_length(), 0u);
+  const std::uint64_t drops_before = link.stats().red_drops;
+  simulator.schedule_in(Duration::seconds(10),
+                        [&] { link.enqueue(make_packet()); });
+  simulator.run_to_completion();
+
+  // Pre-fix the average survives the idle period at ~0.8*avg (one EWMA
+  // step), which is still above max_threshold, so the packet is force-
+  // dropped on an *empty* queue; post-fix it is admitted.
+  EXPECT_EQ(link.stats().red_drops, drops_before);
+  EXPECT_EQ(link.stats().delivered, link.stats().offered -
+                                        link.stats().total_drops());
+  EXPECT_LT(link.red_average_queue(), config.red->min_threshold);
+}
+
+TEST(RedTest, IdleDecayIsCumulativeAcrossProbes) {
+  // Two arrivals separated by idle gaps must see the same total decay as
+  // one arrival after the combined gap: the correction must not re-apply
+  // the full idle span at each arrival.
+  Simulator simulator;
+  LinkConfig config = red_config();
+  config.red->weight = 0.01;  // slow decay so intermediate values survive
+  Link link(simulator, config, Rng(1));
+  link.set_sink([](Packet&&) {});
+  for (int i = 0; i < 12; ++i) link.enqueue(make_packet());
+  simulator.run_to_completion();
+  const double avg_after_burst = link.red_average_queue();
+  ASSERT_GT(avg_after_burst, 0.0);
+
+  simulator.schedule_in(Duration::seconds(2),
+                        [&] { link.enqueue(make_packet()); });
+  simulator.run_to_completion();
+  const double avg_after_gap = link.red_average_queue();
+  EXPECT_LT(avg_after_gap, avg_after_burst);
+  EXPECT_GT(avg_after_gap, 0.0);
+
+  // The second gap's decay applies on top of the first, not from the
+  // original burst time: total decay over the two 2 s spans matches the
+  // single-span decay (+1 packet-service slot between the probes).
+  simulator.schedule_in(Duration::seconds(2),
+                        [&] { link.enqueue(make_packet()); });
+  simulator.run_to_completion();
+  const Duration slot = link.service_time(config.red->mean_packet_bytes);
+  const double slots_per_gap = Duration::seconds(2) / slot;
+  const double per_gap_decay =
+      std::pow(1.0 - config.red->weight, slots_per_gap);
+  EXPECT_NEAR(link.red_average_queue(),
+              avg_after_gap * per_gap_decay, avg_after_gap * 0.05);
 }
 
 TEST(RedTest, RejectsMalformedConfig) {

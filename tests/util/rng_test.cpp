@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <vector>
 
 namespace bolot {
@@ -136,6 +137,35 @@ TEST(RngTest, NormalMoments) {
   const double var = sq / n - mean * mean;
   EXPECT_NEAR(mean, 10.0, 0.05);
   EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(DeriveStreamSeedTest, DeterministicAndIndexSensitive) {
+  EXPECT_EQ(derive_stream_seed(1993, 0), derive_stream_seed(1993, 0));
+  EXPECT_NE(derive_stream_seed(1993, 0), derive_stream_seed(1993, 1));
+  EXPECT_NE(derive_stream_seed(1993, 0), derive_stream_seed(1994, 0));
+  // Stream k of base b must not collide with stream b of base k (the
+  // naive base+index mix would).
+  EXPECT_NE(derive_stream_seed(5, 9), derive_stream_seed(9, 5));
+}
+
+TEST(DeriveStreamSeedTest, StreamsPairwiseDistinct) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t base : {0ULL, 1993ULL, 0xFFFFFFFFFFFFFFFFULL}) {
+    for (std::uint64_t index = 0; index < 4096; ++index) {
+      seeds.insert(derive_stream_seed(base, index));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 3u * 4096u);
+}
+
+TEST(DeriveStreamSeedTest, DerivedRngStreamsDiverge) {
+  Rng a(derive_stream_seed(7, 0));
+  Rng b(derive_stream_seed(7, 1));
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
 }
 
 TEST(SplitMix64Test, KnownFirstOutputs) {
