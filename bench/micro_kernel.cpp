@@ -4,6 +4,8 @@
 // bound how long the paper-reproduction benches take.
 #include <benchmark/benchmark.h>
 
+#include <array>
+
 #include "analysis/lindley.h"
 #include "model/stationary.h"
 #include "sim/tcp.h"
@@ -31,6 +33,55 @@ void BM_EventQueueScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(10000);
+
+void BM_EventQueueScheduleCancel(benchmark::State& state) {
+  // The TCP retransmit pattern: arm a far-future RTO, cancel it on the
+  // next ack, rearm.  With lazy deletion these timers pile up in the heap;
+  // with eager cancellation the queue holds at most one of them.
+  const int batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    sim::EventHandle timer;
+    int fired = 0;
+    for (int i = 0; i < batch; ++i) {
+      timer.cancel();
+      timer = simulator.schedule_in(Duration::seconds(30),
+                                    [&fired] { ++fired; });
+    }
+    timer.cancel();
+    simulator.run_to_completion();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueScheduleCancel)->Arg(1000)->Arg(10000);
+
+void BM_EventQueueMixedWorkload(benchmark::State& state) {
+  // Closed-loop shape: a ring of live timers where dispatching interleaves
+  // with cancel + rearm, stressing mid-heap removal and slab reuse.
+  const int batch = static_cast<int>(state.range(0));
+  constexpr std::size_t kRing = 64;
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    std::array<sim::EventHandle, kRing> ring;
+    int fired = 0;
+    for (int i = 0; i < batch; ++i) {
+      const std::size_t slot = static_cast<std::size_t>(i) % kRing;
+      ring[slot].cancel();
+      const Duration delay = i % 4 == 0
+                                 ? Duration::seconds(30)  // RTO-like
+                                 : Duration::micros(1 + i % 127);
+      ring[slot] = simulator.schedule_in(delay, [&fired] { ++fired; });
+      if (i % 8 == 0) {
+        simulator.run_until(simulator.now() + Duration::micros(16));
+      }
+    }
+    simulator.run_to_completion();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueMixedWorkload)->Arg(1000)->Arg(10000);
 
 void BM_LinkForwarding(benchmark::State& state) {
   for (auto _ : state) {

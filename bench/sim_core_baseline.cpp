@@ -1,0 +1,205 @@
+// Tracked perf baseline for the simulation event core — the repo's first
+// perf-trajectory artifact.  Four kernels cover the patterns every paper
+// bench leans on:
+//
+//   schedule_run     pure schedule -> dispatch throughput (Fig. 1/2/4
+//                    probe streams are this shape)
+//   schedule_cancel  the TCP retransmit pattern: arm a far-future timer,
+//                    cancel it on the next ack, rearm (eager cancellation
+//                    keeps live storage O(pending))
+//   mixed_timers     a ring of pending timers under concurrent
+//                    cancel/rearm/dispatch, the closed-loop-flow shape
+//   inria_umd_1s     wall time of one simulated second of the INRIA->UMd
+//                    scenario at delta = 20 ms, end to end
+//
+// Emits BENCH_sim_core.{json,csv} (runner/sweep_io convention) into --out
+// DIR, defaulting to the current directory — the artifact is the point of
+// this driver, so unlike the paper benches it always writes one.  CI runs
+// it on every push and uploads the JSON, establishing a trajectory of
+// events/sec, ns/event, and scenario wall time per commit (no thresholds;
+// trend tracking only).
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "runner/sweep.h"
+#include "runner/sweep_cli.h"
+#include "runner/sweep_io.h"
+#include "scenario/scenarios.h"
+#include "sim/simulator.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace bolot;
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct KernelResult {
+  std::uint64_t events = 0;  // dispatched (or schedule+cancel cycles)
+  double wall_seconds = 0.0;
+};
+
+/// Pure throughput: schedule a wave of events, drain it, repeat.
+KernelResult run_schedule_run(std::uint64_t total) {
+  sim::Simulator simulator;
+  std::uint64_t fired = 0;
+  const auto start = Clock::now();
+  constexpr std::uint64_t kWave = 10000;
+  for (std::uint64_t done = 0; done < total; done += kWave) {
+    for (std::uint64_t i = 0; i < kWave; ++i) {
+      simulator.schedule_in(Duration::micros(static_cast<double>(i % 997)),
+                            [&fired] { ++fired; });
+    }
+    simulator.run_to_completion();
+  }
+  return {fired, seconds_since(start)};
+}
+
+/// TCP-RTO pattern: one long-lived timer armed and cancelled per "ack".
+KernelResult run_schedule_cancel(std::uint64_t total) {
+  sim::Simulator simulator;
+  std::uint64_t fired = 0;
+  sim::EventHandle timer;
+  const auto start = Clock::now();
+  for (std::uint64_t i = 0; i < total; ++i) {
+    timer.cancel();
+    timer = simulator.schedule_in(Duration::seconds(30), [&fired] { ++fired; });
+  }
+  timer.cancel();
+  simulator.run_to_completion();
+  return {total, seconds_since(start)};
+}
+
+/// A ring of pending timers: every dispatched event cancels the oldest
+/// other timer and schedules two more, keeping ~kRing events live.
+KernelResult run_mixed_timers(std::uint64_t total) {
+  sim::Simulator simulator;
+  constexpr std::size_t kRing = 256;
+  std::vector<sim::EventHandle> ring(kRing);
+  std::size_t cursor = 0;
+  std::uint64_t fired = 0;
+  std::uint64_t scheduled = 0;
+  const auto schedule_one = [&](Duration delay) {
+    ring[cursor % kRing].cancel();
+    std::uint64_t* fired_ptr = &fired;
+    ring[cursor % kRing] = simulator.schedule_in(
+        delay, [fired_ptr] { ++*fired_ptr; });
+    ++cursor;
+    ++scheduled;
+  };
+  for (std::size_t i = 0; i < kRing; ++i) {
+    schedule_one(Duration::micros(static_cast<double>(i + 1)));
+  }
+  const auto start = Clock::now();
+  while (scheduled < total) {
+    // Drain a slice, then refill with a mix of near and far timers (the
+    // far ones are usually cancelled before firing, like RTOs).
+    simulator.run_until(simulator.now() + Duration::micros(64));
+    for (int i = 0; i < 16 && scheduled < total; ++i) {
+      schedule_one(i % 4 == 0 ? Duration::seconds(30)
+                              : Duration::micros(static_cast<double>(
+                                    1 + (scheduled % 127))));
+    }
+  }
+  simulator.run_to_completion();
+  return {scheduled, seconds_since(start)};
+}
+
+/// One simulated second of the paper's INRIA->UMd path at delta = 20 ms.
+KernelResult run_inria_umd_second() {
+  scenario::ProbePlan plan;
+  plan.delta = Duration::millis(20);
+  plan.duration = Duration::seconds(1);
+  const auto start = Clock::now();
+  const auto result = scenario::run_inria_umd(plan);
+  return {result.events, seconds_since(start)};
+}
+
+std::vector<runner::Metric> to_metrics(const KernelResult& r) {
+  const double events = static_cast<double>(r.events);
+  std::vector<runner::Metric> metrics;
+  metrics.push_back({"events", events});
+  metrics.push_back({"kernel_wall_seconds", r.wall_seconds});
+  if (r.wall_seconds > 0.0) {
+    metrics.push_back({"events_per_sec", events / r.wall_seconds});
+    metrics.push_back({"ns_per_event", r.wall_seconds * 1e9 / events});
+  }
+  return metrics;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  runner::SweepCli cli;
+  try {
+    cli = runner::parse_sweep_cli(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n"
+              << runner::sweep_cli_usage("sim_core_baseline");
+    return 2;
+  }
+  if (cli.out_dir.empty()) cli.out_dir = ".";
+
+  constexpr std::uint64_t kEvents = 1000000;
+  const std::vector<std::string> kernels = {"schedule_run", "schedule_cancel",
+                                            "mixed_timers", "inria_umd_1s"};
+  std::vector<runner::RunSpec> specs;
+  for (const std::string& kernel : kernels) {
+    runner::RunSpec spec;
+    spec.label = kernel;
+    specs.push_back(std::move(spec));
+  }
+
+  runner::SweepOptions options;
+  options.name = "sim_core";
+  options.threads = 1;  // timing kernels must not share cores
+  options.base_seed = cli.base_seed;
+
+  const runner::SweepResult sweep = runner::run_sweep(
+      specs,
+      [&](const runner::RunContext& ctx) {
+        const std::string& kernel = ctx.spec->label;
+        if (kernel == "schedule_run") return to_metrics(run_schedule_run(kEvents));
+        if (kernel == "schedule_cancel") {
+          return to_metrics(run_schedule_cancel(kEvents));
+        }
+        if (kernel == "mixed_timers") return to_metrics(run_mixed_timers(kEvents));
+        return to_metrics(run_inria_umd_second());
+      },
+      options);
+
+  TextTable table;
+  table.row({"kernel", "events", "events/sec", "ns/event", "wall(s)"});
+  for (const runner::RunResult& run : sweep.runs) {
+    if (run.failed) {
+      std::cerr << run.label << ": " << run.error << "\n";
+      return 1;
+    }
+    const double* rate = run.metric("events_per_sec");
+    const double* ns = run.metric("ns_per_event");
+    table.row({});
+    table.cell(run.label)
+        .cell(static_cast<std::int64_t>(*run.metric("events")))
+        .cell(rate != nullptr ? *rate : 0.0, 0)
+        .cell(ns != nullptr ? *ns : 0.0, 1)
+        .cell(*run.metric("kernel_wall_seconds"), 4);
+  }
+  std::cout << "Simulation event-core perf baseline\n\n";
+  table.print(std::cout);
+
+  try {
+    const std::string path = runner::write_sweep_artifacts(sweep, cli.out_dir);
+    std::cout << "\nartifacts: " << path << " (+ .csv)\n";
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

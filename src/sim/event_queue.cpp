@@ -1,47 +1,80 @@
 #include "sim/event_queue.h"
 
+#include <mutex>
 #include <stdexcept>
-#include <utility>
 
 namespace bolot::sim {
 
-void EventHandle::cancel() {
-  if (cancelled_) *cancelled_ = true;
+namespace {
+
+std::mutex& pool_mutex() {
+  static std::mutex m;
+  return m;
 }
 
-EventHandle EventQueue::schedule(SimTime at, EventFn fn) {
-  if (at < last_popped_) {
-    throw std::logic_error("EventQueue: scheduling into the past");
+/// Upper bound on retained chunks; beyond this, surplus chunks are freed
+/// so a one-off giant simulation cannot pin its slab forever.
+constexpr std::size_t kMaxPooledChunks = 256;  // 256 * 40 KiB = 10 MiB
+
+}  // namespace
+
+std::vector<std::unique_ptr<EventQueue::Slot[]>>& EventQueue::chunk_pool() {
+  static std::vector<std::unique_ptr<Slot[]>> pool;
+  return pool;
+}
+
+EventQueue::~EventQueue() {
+  // Return slots to their pristine state (drop live closures, zero the
+  // generation counters) so a recycled chunk is indistinguishable from a
+  // freshly allocated one, then hand the chunks to the pool.
+  for (auto& chunk : chunks_) {
+    for (std::uint32_t i = 0; i <= kChunkMask; ++i) {
+      chunk[i].fn.reset();
+      chunk[i].gen = 0;
+      chunk[i].next_free = kNone;
+    }
   }
-  auto cancelled = std::make_shared<bool>(false);
-  heap_.push(Entry{at, next_seq_++, std::move(fn), cancelled});
-  return EventHandle(std::move(cancelled));
+  recycle_chunks(chunks_);
 }
 
-void EventQueue::purge_top() const {
-  while (!heap_.empty() && *heap_.top().cancelled) {
-    heap_.pop();
+std::unique_ptr<EventQueue::Slot[]> EventQueue::acquire_chunk() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex());
+    auto& pool = chunk_pool();
+    if (!pool.empty()) {
+      auto chunk = std::move(pool.back());
+      pool.pop_back();
+      return chunk;
+    }
   }
+  return std::make_unique<Slot[]>(kChunkMask + 1);
 }
 
-bool EventQueue::empty() const {
-  purge_top();
-  return heap_.empty();
+void EventQueue::recycle_chunks(std::vector<std::unique_ptr<Slot[]>>& chunks) {
+  std::lock_guard<std::mutex> lock(pool_mutex());
+  auto& pool = chunk_pool();
+  for (auto& chunk : chunks) {
+    if (pool.size() >= kMaxPooledChunks) break;  // surplus is simply freed
+    pool.push_back(std::move(chunk));
+  }
+  chunks.clear();
 }
 
-SimTime EventQueue::next_time() const {
-  purge_top();
-  if (heap_.empty()) throw std::logic_error("EventQueue: next_time on empty");
-  return heap_.top().at;
+void EventQueue::cancel(std::uint32_t slot_index, std::uint64_t gen) {
+  if (slot_index >= slot_count_) return;
+  Slot& slot = slot_at(slot_index);
+  const std::uint32_t pos = heap_pos_[slot_index];
+  if (slot.gen != gen || pos == kNone) return;  // already fired/cancelled
+  remove_heap_at(pos);
+  release_slot(slot_index);
 }
 
-EventQueue::PoppedEvent EventQueue::pop() {
-  purge_top();
-  if (heap_.empty()) throw std::logic_error("EventQueue: pop on empty");
-  PoppedEvent popped{heap_.top().at, heap_.top().fn};
-  heap_.pop();
-  last_popped_ = popped.at;
-  return popped;
+void EventQueue::grow_slab() { chunks_.emplace_back(acquire_chunk()); }
+
+void EventQueue::throw_past() {
+  throw std::logic_error("EventQueue: scheduling into the past");
 }
+
+void EventQueue::throw_empty(const char* what) { throw std::logic_error(what); }
 
 }  // namespace bolot::sim

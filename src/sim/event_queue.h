@@ -1,53 +1,118 @@
-// Deterministic discrete-event queue.
+// Deterministic discrete-event queue with an allocation-free steady state.
 //
-// Events at equal timestamps are dispatched in scheduling order (FIFO via a
-// monotonically increasing sequence number), so a simulation is a pure
-// function of its inputs and seed.  Cancellation is supported through lazy
-// deletion: cancelled events stay in the heap but are skipped on pop.
+// Pending events are ordered by an indexed 4-ary min-heap whose 24-byte
+// entries carry the full sort key (time, sequence) — comparisons stay in
+// the contiguous heap array and never chase pointers.  Callback closures
+// live inline in a slab of reusable slots (InplaceFunction, no heap
+// fallback); schedule() constructs the closure directly in its slot and
+// pop() moves it out, so after the slab and heap vectors reach their
+// high-water marks a schedule -> dispatch cycle performs zero allocations.
+//
+// Events at equal timestamps are dispatched in scheduling order (FIFO via
+// a monotonically increasing sequence number), so a simulation is a pure
+// function of its inputs and seed.
+//
+// Cancellation is eager: cancel() removes the entry from the heap
+// immediately (O(log n) sift via the slot's stored heap position) and
+// recycles the slot through a free list, so cancelled-but-never-popped
+// timers (the TCP retransmit pattern: schedule a far-future RTO, cancel
+// it on every ack) cannot accumulate — live storage stays O(pending
+// events).  An EventHandle identifies its event by {slot, generation};
+// the generation is bumped whenever a slot is released, so a stale handle
+// (event fired or cancelled, slot possibly reused) is a safe no-op.
+//
+// The hot paths (schedule, pop, the sifts) are defined in this header so
+// they inline into the simulator's dispatch loop; see docs/MODEL_NOTES.md
+// §9 for why eager cancellation preserves determinism.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
+#include <utility>
 #include <vector>
 
+#include "util/inplace_function.h"
 #include "util/time.h"
 
 namespace bolot::sim {
 
-using EventFn = std::function<void()>;
+/// Inline capacity for event callbacks.  Sized for the largest closure in
+/// the simulator (a Link delivery lambda capturing a Packet by value plus
+/// the link pointer); InplaceFunction static_asserts at the call site if a
+/// larger closure is ever scheduled, so this can never silently regress to
+/// heap allocation.
+inline constexpr std::size_t kEventFnCapacity = 128;
+
+using EventFn = util::InplaceFunction<void(), kEventFnCapacity>;
+
+class EventQueue;
 
 /// Token returned by schedule(); allows cancelling a pending event.
+/// Copyable and trivially destructible: it is just {queue, slot,
+/// generation}.  A handle must not be used after its EventQueue has been
+/// destroyed (the simulator outlives every component that holds timers).
 class EventHandle {
  public:
   EventHandle() = default;
 
-  /// Cancels the event if it has not fired yet.  Safe to call repeatedly
-  /// and after the event has fired (no-op).
-  void cancel();
+  /// Cancels the event if it has not fired yet.  Safe to call repeatedly,
+  /// after the event has fired, and after the slot has been reused by a
+  /// later event (generation mismatch makes all of these no-ops).
+  inline void cancel();
 
-  bool valid() const { return cancelled_ != nullptr; }
+  bool valid() const { return queue_ != nullptr; }
 
  private:
   friend class EventQueue;
-  explicit EventHandle(std::shared_ptr<bool> cancelled)
-      : cancelled_(std::move(cancelled)) {}
+  EventHandle(EventQueue* queue, std::uint32_t slot, std::uint64_t gen)
+      : queue_(queue), slot_(slot), gen_(gen) {}
 
-  std::shared_ptr<bool> cancelled_;
+  EventQueue* queue_ = nullptr;  // not owned
+  std::uint32_t slot_ = 0;
+  std::uint64_t gen_ = 0;
 };
 
 class EventQueue {
  public:
-  /// Schedules `fn` at absolute time `at`.  `at` must not precede the time
-  /// of the most recently popped event.
-  EventHandle schedule(SimTime at, EventFn fn);
+  EventQueue() = default;
+  ~EventQueue();
+  // Handles and the simulator hold back-pointers; pin the queue in place.
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedules `fn` (anything invocable as void()) at absolute time `at`.
+  /// `at` must not precede the time of the most recently popped event.
+  /// The closure is constructed directly into its slot — no intermediate
+  /// EventFn moves, no allocation once the slab has warmed up.
+  template <typename F>
+  EventHandle schedule(SimTime at, F&& fn) {
+    if (at < last_popped_) throw_past();
+    std::uint32_t index;
+    if (free_head_ != kNone) {
+      index = free_head_;
+      free_head_ = slot_at(index).next_free;
+    } else {
+      index = slot_count_++;
+      if ((index & kChunkMask) == 0) grow_slab();
+      heap_pos_.push_back(kNone);
+    }
+    Slot& slot = slot_at(index);
+    slot.fn = std::forward<F>(fn);
+    slot.next_free = kNone;
+    heap_.push_back(HeapEntry{at, next_seq_++, index});
+    sift_up(heap_.size() - 1);
+    return EventHandle(this, index, slot.gen);
+  }
 
   /// True when no live (non-cancelled) event remains.
-  bool empty() const;
+  bool empty() const { return heap_.empty(); }
 
   /// Time of the earliest pending event.  Requires !empty().
-  SimTime next_time() const;
+  SimTime next_time() const {
+    if (heap_.empty()) throw_empty("EventQueue: next_time on empty");
+    return heap_[0].at;
+  }
 
   struct PoppedEvent {
     SimTime at;
@@ -58,28 +123,150 @@ class EventQueue {
   /// !empty().  The caller must advance its clock to `at` *before*
   /// invoking `fn`, so that the callback schedules relative to the event's
   /// own time.
-  PoppedEvent pop();
+  PoppedEvent pop() {
+    if (heap_.empty()) throw_empty("EventQueue: pop on empty");
+    const std::uint32_t index = heap_[0].slot;
+    PoppedEvent popped{heap_[0].at, std::move(slot_at(index).fn)};
+    remove_heap_at(0);
+    release_slot(index);
+    last_popped_ = popped.at;
+    return popped;
+  }
+
+  /// Number of live (scheduled, not yet fired or cancelled) events.
+  std::size_t size() const { return heap_.size(); }
+
+  /// Slots ever allocated.  Grows to the high-water mark of concurrent
+  /// live events and then stays flat — eager cancellation means cancelled
+  /// events never occupy storage (regression target: O(pending), not
+  /// O(scheduled)).
+  std::size_t slab_capacity() const { return slot_count_; }
 
  private:
-  struct Entry {
+  friend class EventHandle;
+
+  static constexpr std::uint32_t kNone = UINT32_MAX;
+
+  /// Slots are allocated in fixed-size chunks so they never move: growing
+  /// the slab allocates one new chunk instead of reallocating a vector and
+  /// move-constructing every live closure through an indirect call.  The
+  /// chunk size keeps each allocation well under glibc's mmap threshold,
+  /// so chunks are recycled by the allocator arena across simulator
+  /// lifetimes instead of being mapped and unmapped each run.
+  static constexpr std::uint32_t kChunkShift = 8;  // 256 slots per chunk
+  static constexpr std::uint32_t kChunkMask = (1u << kChunkShift) - 1;
+
+  /// Heap entries carry the sort key so ordering never touches the slab.
+  struct HeapEntry {
     SimTime at;
     std::uint64_t seq;
+    std::uint32_t slot;
+  };
+
+  struct Slot {
+    std::uint64_t gen = 0;  // bumped on release; stale handles miss
+    std::uint32_t next_free = kNone;
     EventFn fn;
-    std::shared_ptr<bool> cancelled;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
+
+  Slot& slot_at(std::uint32_t index) {
+    return chunks_[index >> kChunkShift][index & kChunkMask];
+  }
+
+  /// Heap order: earliest time first, scheduling order within a timestamp.
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t pos) {
+    const HeapEntry entry = heap_[pos];
+    while (pos > 0) {
+      const std::size_t parent = (pos - 1) / 4;
+      if (!earlier(entry, heap_[parent])) break;
+      heap_[pos] = heap_[parent];
+      heap_pos_[heap_[pos].slot] = static_cast<std::uint32_t>(pos);
+      pos = parent;
     }
-  };
+    heap_[pos] = entry;
+    heap_pos_[entry.slot] = static_cast<std::uint32_t>(pos);
+  }
 
-  /// Removes cancelled entries from the top of the heap.
-  void purge_top() const;
+  void sift_down(std::size_t pos) {
+    const HeapEntry entry = heap_[pos];
+    const std::size_t n = heap_.size();
+    while (true) {
+      const std::size_t first = 4 * pos + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t last = first + 4 < n ? first + 4 : n;
+      for (std::size_t child = first + 1; child < last; ++child) {
+        if (earlier(heap_[child], heap_[best])) best = child;
+      }
+      if (!earlier(heap_[best], entry)) break;
+      heap_[pos] = heap_[best];
+      heap_pos_[heap_[pos].slot] = static_cast<std::uint32_t>(pos);
+      pos = best;
+    }
+    heap_[pos] = entry;
+    heap_pos_[entry.slot] = static_cast<std::uint32_t>(pos);
+  }
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  /// Removes the heap entry at `pos`, restoring the heap property.
+  void remove_heap_at(std::size_t pos) {
+    const HeapEntry moved = heap_.back();
+    heap_.pop_back();
+    if (pos >= heap_.size()) return;  // removed the tail entry itself
+    heap_[pos] = moved;
+    heap_pos_[moved.slot] = static_cast<std::uint32_t>(pos);
+    // The tail element may belong above or below the vacated position.
+    sift_down(pos);
+    sift_up(heap_pos_[moved.slot]);
+  }
+
+  /// Returns `index` to the free list and invalidates outstanding handles.
+  void release_slot(std::uint32_t index) {
+    Slot& slot = slot_at(index);
+    slot.fn.reset();
+    ++slot.gen;  // outstanding handles to this slot become stale
+    heap_pos_[index] = kNone;
+    slot.next_free = free_head_;
+    free_head_ = index;
+  }
+
+  /// Eagerly removes the event in `slot` if `gen` still matches.
+  void cancel(std::uint32_t slot_index, std::uint64_t gen);
+
+  /// Appends one chunk of pristine slots (cold path).
+  void grow_slab();
+
+  // Chunks are recycled through a process-wide pool rather than freed:
+  // short-lived simulators (one per sweep point in the runner) would
+  // otherwise hand their slab pages back to the kernel on every
+  // destruction and fault them all in again on the next run.  The pool
+  // keeps the pages warm; it is mutex-guarded but only touched when a
+  // slab grows or a queue dies, never on the event hot path.
+  static std::vector<std::unique_ptr<Slot[]>>& chunk_pool();
+  static std::unique_ptr<Slot[]> acquire_chunk();
+  static void recycle_chunks(std::vector<std::unique_ptr<Slot[]>>& chunks);
+
+  [[noreturn]] static void throw_past();
+  [[noreturn]] static void throw_empty(const char* what);
+
+  // Slot storage is split so the hot heap operations stay in compact,
+  // trivially-copyable arrays: heap_pos_ (written on every sift step)
+  // lives apart from the 160-byte Slot that holds the closure.
+  std::vector<std::unique_ptr<Slot[]>> chunks_;  // slab; slots never move
+  std::uint32_t slot_count_ = 0;                 // slots ever allocated
+  std::vector<std::uint32_t> heap_pos_;  // per-slot; kNone when not queued
+  std::vector<HeapEntry> heap_;          // 4-ary min-heap
+  std::uint32_t free_head_ = kNone;
   std::uint64_t next_seq_ = 0;
   SimTime last_popped_;
 };
+
+inline void EventHandle::cancel() {
+  if (queue_ != nullptr) queue_->cancel(slot_, gen_);
+}
 
 }  // namespace bolot::sim

@@ -15,40 +15,56 @@ PacketLog::PacketLog(std::size_t capacity) : capacity_(capacity) {
 }
 
 void PacketLog::attach(Simulator& sim, Link& link) {
-  const std::string link_name = link.config().name;
-  link.set_delivery_hook([this, link_name](const Packet& packet,
-                                           SimTime at) {
+  // Intern the name once at attach time; the per-event hooks then store a
+  // 4-byte id instead of constructing a std::string per delivery/drop.
+  const std::uint32_t link_id = intern_link(link.config().name);
+  link.set_delivery_hook([this, link_id](const Packet& packet, SimTime at) {
     PacketEvent event;
     event.at = at;
     event.kind = PacketEventKind::kDelivered;
-    event.link = link_name;
+    event.link_id = link_id;
     event.packet_id = packet.id;
     event.flow = packet.flow;
     event.packet_kind = packet.kind;
     event.size_bytes = packet.size_bytes;
-    record(std::move(event));
+    record(event);
   });
-  link.set_drop_hook([this, link_name, &sim](const Packet& packet,
-                                             DropCause cause) {
+  link.set_drop_hook([this, link_id, &sim](const Packet& packet,
+                                           DropCause cause) {
     PacketEvent event;
     event.at = sim.now();
     event.kind = PacketEventKind::kDropped;
     event.cause = cause;
-    event.link = link_name;
+    event.link_id = link_id;
     event.packet_id = packet.id;
     event.flow = packet.flow;
     event.packet_kind = packet.kind;
     event.size_bytes = packet.size_bytes;
-    record(std::move(event));
+    record(event);
   });
+}
+
+std::uint32_t PacketLog::intern_link(const std::string& name) {
+  for (std::size_t i = 0; i < link_names_.size(); ++i) {
+    if (link_names_[i] == name) return static_cast<std::uint32_t>(i);
+  }
+  link_names_.push_back(name);
+  return static_cast<std::uint32_t>(link_names_.size() - 1);
+}
+
+const std::string& PacketLog::link_name(std::uint32_t id) const {
+  if (id >= link_names_.size()) {
+    throw std::out_of_range("PacketLog: unknown link id");
+  }
+  return link_names_[id];
 }
 
 void PacketLog::record(PacketEvent event) {
   if (events_.size() < capacity_) {
-    events_.push_back(std::move(event));
+    events_.push_back(event);
     return;
   }
-  events_[next_] = std::move(event);
+  events_[next_] = event;
   next_ = (next_ + 1) % capacity_;
   wrapped_ = true;
   ++evicted_;
@@ -106,7 +122,8 @@ void PacketLog::write_csv(std::ostream& os) const {
     } else {
       os << '-';
     }
-    os << ',' << event.link << ',' << event.packet_id << ',' << event.flow
+    os << ',' << link_names_[event.link_id] << ',' << event.packet_id << ','
+       << event.flow
        << ',' << to_string(event.packet_kind) << ',' << event.size_bytes
        << '\n';
   }

@@ -27,7 +27,7 @@ struct PacketEvent {
   SimTime at;
   PacketEventKind kind = PacketEventKind::kDelivered;
   DropCause cause = DropCause::kOverflow;  // meaningful for kDropped
-  std::string link;                        // LinkConfig::name
+  std::uint32_t link_id = 0;  // interned LinkConfig::name; see link_name()
   std::uint64_t packet_id = 0;
   std::uint32_t flow = 0;
   PacketKind packet_kind = PacketKind::kOther;
@@ -48,6 +48,14 @@ class PacketLog {
   const std::vector<PacketEvent>& events() const;
   std::uint64_t evicted() const { return evicted_; }
 
+  /// Resolves an interned PacketEvent::link_id back to the link's name.
+  /// Throws std::out_of_range for ids this log never issued.
+  const std::string& link_name(std::uint32_t id) const;
+
+  /// Interned names in id order (id == index).  One entry per attached
+  /// link name; events store the 4-byte id instead of a std::string copy.
+  const std::vector<std::string>& link_names() const { return link_names_; }
+
   /// Events matching a flow (in time order).
   std::vector<PacketEvent> for_flow(std::uint32_t flow) const;
 
@@ -59,9 +67,12 @@ class PacketLog {
 
  private:
   void record(PacketEvent event);
+  /// Returns the id for `name`, adding it to the side table if new.
+  std::uint32_t intern_link(const std::string& name);
   /// Rebuilds events_ in chronological order if the ring has wrapped.
   void normalize() const;
 
+  std::vector<std::string> link_names_;  // id -> name
   std::size_t capacity_;
   mutable std::vector<PacketEvent> events_;
   mutable std::size_t next_ = 0;  // ring cursor once at capacity

@@ -1,21 +1,6 @@
 #include "sim/simulator.h"
 
-#include <stdexcept>
-#include <utility>
-
 namespace bolot::sim {
-
-EventHandle Simulator::schedule_in(Duration delay, EventFn fn) {
-  if (delay.is_negative()) {
-    throw std::invalid_argument("Simulator: negative delay");
-  }
-  return queue_.schedule(now_ + delay, std::move(fn));
-}
-
-EventHandle Simulator::schedule_at(SimTime at, EventFn fn) {
-  if (at < now_) throw std::invalid_argument("Simulator: time in the past");
-  return queue_.schedule(at, std::move(fn));
-}
 
 void Simulator::run_until(SimTime end) {
   while (!queue_.empty() && queue_.next_time() <= end) {

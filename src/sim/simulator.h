@@ -1,7 +1,10 @@
 // Simulation kernel: virtual clock plus event dispatch loop.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <stdexcept>
+#include <utility>
 
 #include "sim/event_queue.h"
 #include "util/time.h"
@@ -12,11 +15,23 @@ class Simulator {
  public:
   SimTime now() const { return now_; }
 
-  /// Schedules `fn` to run `delay` from now (delay >= 0).
-  EventHandle schedule_in(Duration delay, EventFn fn);
+  /// Schedules `fn` to run `delay` from now (delay >= 0).  Templated so
+  /// the closure is constructed straight into its event slot (see
+  /// EventQueue::schedule) with the whole path inlined.
+  template <typename F>
+  EventHandle schedule_in(Duration delay, F&& fn) {
+    if (delay.is_negative()) {
+      throw std::invalid_argument("Simulator: negative delay");
+    }
+    return queue_.schedule(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Schedules `fn` at absolute time `at` (at >= now()).
-  EventHandle schedule_at(SimTime at, EventFn fn);
+  template <typename F>
+  EventHandle schedule_at(SimTime at, F&& fn) {
+    if (at < now_) throw std::invalid_argument("Simulator: time in the past");
+    return queue_.schedule(at, std::forward<F>(fn));
+  }
 
   /// Runs events until the queue empties or the next event would fire after
   /// `end`; the clock is left at min(end, last event time).
@@ -26,6 +41,9 @@ class Simulator {
   void run_to_completion();
 
   std::uint64_t events_dispatched() const { return dispatched_; }
+
+  /// Live (scheduled, not yet fired or cancelled) events.
+  std::size_t pending_events() const { return queue_.size(); }
 
  private:
   EventQueue queue_;

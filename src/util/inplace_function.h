@@ -1,0 +1,129 @@
+// Move-only callable wrapper with inline (small-buffer-only) storage.
+//
+// std::function heap-allocates any closure larger than its tiny SBO and
+// always carries RTTI machinery; in the event core that cost is paid once
+// per scheduled event.  InplaceFunction stores the callable in an embedded
+// buffer of `Capacity` bytes and *refuses to compile* when a closure does
+// not fit, so the hot path can never silently fall back to the heap.  Two
+// function pointers (invoke + manage) replace the vtable.
+//
+// Semantics intentionally kept minimal for the event core:
+//   - move-only (closures holding Packets need no copies),
+//   - the wrapped callable must be nothrow-move-constructible (true for
+//     every lambda in the simulator; keeps queue operations noexcept),
+//   - calling an empty InplaceFunction throws std::bad_function_call.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace bolot::util {
+
+template <typename Signature, std::size_t Capacity = 64>
+class InplaceFunction;  // primary left undefined; specialized for R(Args...)
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InplaceFunction<R(Args...), Capacity> {
+ public:
+  static constexpr std::size_t kCapacity = Capacity;
+
+  InplaceFunction() noexcept = default;
+  InplaceFunction(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, InplaceFunction> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  InplaceFunction(F&& f) {  // NOLINT(runtime/explicit)
+    construct(std::forward<F>(f));
+  }
+
+  /// Replaces the held callable by constructing the new one directly in
+  /// the inline buffer — the event core's schedule() path uses this to go
+  /// from the caller's lambda to slot storage with zero intermediate
+  /// moves.
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, InplaceFunction> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  InplaceFunction& operator=(F&& f) {
+    reset();
+    construct(std::forward<F>(f));
+    return *this;
+  }
+
+  InplaceFunction(InplaceFunction&& other) noexcept {
+    move_from(std::move(other));
+  }
+
+  InplaceFunction& operator=(InplaceFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
+
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
+
+  ~InplaceFunction() { reset(); }
+
+  /// Destroys the held callable (if any); *this becomes empty.
+  void reset() noexcept {
+    if (manage_ != nullptr) manage_(nullptr, storage_);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  R operator()(Args... args) {
+    if (invoke_ == nullptr) throw std::bad_function_call();
+    return invoke_(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  template <typename F, typename D = std::decay_t<F>>
+  void construct(F&& f) {
+    static_assert(sizeof(D) <= Capacity,
+                  "closure exceeds InplaceFunction capacity; capture less or "
+                  "raise Capacity");
+    static_assert(alignof(D) <= alignof(std::max_align_t),
+                  "over-aligned callable");
+    static_assert(std::is_nothrow_move_constructible_v<D>,
+                  "callable must be nothrow-move-constructible");
+    ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+    invoke_ = [](void* s, Args&&... args) -> R {
+      return (*static_cast<D*>(s))(std::forward<Args>(args)...);
+    };
+    manage_ = [](void* dst, void* src) noexcept {
+      D* from = static_cast<D*>(src);
+      if (dst != nullptr) ::new (dst) D(std::move(*from));
+      from->~D();
+    };
+  }
+
+  void move_from(InplaceFunction&& other) noexcept {
+    if (other.invoke_ == nullptr) return;
+    other.manage_(storage_, other.storage_);
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  using Invoke = R (*)(void*, Args&&...);
+  /// manage(dst, src): move-construct *src into dst (when dst != nullptr),
+  /// then destroy *src.  With dst == nullptr it is a plain destroy.
+  using Manage = void (*)(void*, void*) noexcept;
+
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+};
+
+}  // namespace bolot::util

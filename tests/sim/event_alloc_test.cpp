@@ -1,0 +1,90 @@
+// Counting-allocator regression test for the event core's allocation-free
+// steady state.  This TU replaces the global operator new/delete with
+// counting versions, so it links into its own test binary (event_alloc_test)
+// rather than the shared sim_test — the counters would otherwise tax every
+// sim test, and nothing else may allocate between the measurement marks.
+//
+// The contract under test: once the slab, the heap vector, and any library
+// internals have reached their high-water marks (warm-up), a
+// schedule -> dispatch cycle and a schedule -> cancel cycle perform zero
+// heap allocations.  This is what the InplaceFunction + slab design buys
+// over the std::function/shared_ptr implementation, which allocated three
+// times per dispatched event.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "sim/simulator.h"
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace bolot::sim {
+namespace {
+
+TEST(EventAllocTest, ScheduleDispatchCycleIsAllocationFreeAfterWarmup) {
+  Simulator simulator;
+  std::uint64_t fired = 0;
+  const auto wave = [&] {
+    for (int i = 0; i < 1024; ++i) {
+      simulator.schedule_in(Duration::micros(i % 97), [&fired] { ++fired; });
+    }
+    simulator.run_to_completion();
+  };
+  for (int round = 0; round < 3; ++round) wave();  // reach high-water marks
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int round = 0; round < 10; ++round) wave();
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(after - before, 0u);
+  EXPECT_EQ(fired, 13u * 1024u);
+}
+
+TEST(EventAllocTest, ScheduleCancelCycleIsAllocationFreeAfterWarmup) {
+  // The TCP-RTO pattern: with eager cancellation the slot is recycled
+  // immediately, so rearming a timer a million times costs zero
+  // allocations once the first slot exists.
+  Simulator simulator;
+  EventHandle timer;
+  int fired = 0;
+  for (int i = 0; i < 64; ++i) {  // warm-up
+    timer.cancel();
+    timer = simulator.schedule_in(Duration::seconds(30), [&fired] { ++fired; });
+  }
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000000; ++i) {
+    timer.cancel();
+    timer = simulator.schedule_in(Duration::seconds(30), [&fired] { ++fired; });
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(after - before, 0u);
+  timer.cancel();
+  simulator.run_to_completion();
+  EXPECT_EQ(fired, 0);
+}
+
+}  // namespace
+}  // namespace bolot::sim

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
 #include <vector>
 
 namespace bolot::sim {
@@ -99,6 +101,148 @@ TEST(EventQueueTest, EventsCanScheduleMoreEvents) {
   });
   while (!queue.empty()) queue.pop().fn();
   EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, FifoOrderSurvivesSlabReuse) {
+  // Events 0..4 at t=5 fire and free their slots; events 5..9, scheduled
+  // at the same timestamp into the *reused* slots, must still dispatch in
+  // scheduling order (the sequence counter, not the slot id, breaks ties).
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    queue.schedule(Duration::millis(5), [&order, i] { order.push_back(i); });
+  }
+  for (int i = 0; i < 5; ++i) queue.pop().fn();
+  for (int i = 5; i < 10; ++i) {
+    queue.schedule(Duration::millis(5), [&order, i] { order.push_back(i); });
+  }
+  while (!queue.empty()) queue.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueTest, StaleHandleAfterSlotReuseIsNoop) {
+  EventQueue queue;
+  int first = 0, second = 0;
+  EventHandle stale =
+      queue.schedule(Duration::millis(1), [&first] { ++first; });
+  stale.cancel();  // frees the slot
+  // The next schedule reuses the freed slot; the stale handle's generation
+  // no longer matches, so cancelling it again must not kill the new event.
+  queue.schedule(Duration::millis(2), [&second] { ++second; });
+  EXPECT_EQ(queue.slab_capacity(), 1u);  // proves the slot was reused
+  stale.cancel();
+  while (!queue.empty()) queue.pop().fn();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(EventQueueTest, HandleOfFiredEventCannotCancelSlotSuccessor) {
+  EventQueue queue;
+  int first = 0, second = 0;
+  EventHandle fired_handle =
+      queue.schedule(Duration::millis(1), [&first] { ++first; });
+  queue.pop().fn();  // fires; slot returns to the free list
+  queue.schedule(Duration::millis(2), [&second] { ++second; });
+  fired_handle.cancel();  // stale: must not touch the successor
+  while (!queue.empty()) queue.pop().fn();
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(EventQueueTest, CancelDuringDispatchOfSelfIsNoop) {
+  EventQueue queue;
+  int fired = 0;
+  EventHandle self;
+  self = queue.schedule(Duration::millis(1), [&] {
+    ++fired;
+    self.cancel();  // own event is already popped; must be a no-op
+  });
+  while (!queue.empty()) queue.pop().fn();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueueTest, CallbackCanCancelPendingEventDuringDispatch) {
+  EventQueue queue;
+  int fired = 0;
+  EventHandle victim =
+      queue.schedule(Duration::millis(5), [&fired] { fired += 100; });
+  queue.schedule(Duration::millis(1), [&] {
+    ++fired;
+    victim.cancel();
+  });
+  while (!queue.empty()) queue.pop().fn();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueTest, CancelledTimersDoNotAccumulate) {
+  // Regression: the TCP-RTO pattern (schedule a far-future timer, cancel,
+  // reschedule) must not grow storage without bound.  Eager cancellation
+  // keeps both the heap and the slab at O(pending events).
+  EventQueue queue;
+  EventHandle timer;
+  for (int i = 0; i < 100000; ++i) {
+    timer.cancel();
+    timer = queue.schedule(Duration::seconds(30), [] {});
+  }
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_LE(queue.slab_capacity(), 2u);
+  timer.cancel();
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueueTest, SlabStaysAtHighWaterMarkOfLiveEvents) {
+  EventQueue queue;
+  // 64 live at peak; a million schedule/pop cycles afterwards must not
+  // allocate new slots.
+  for (int i = 0; i < 64; ++i) queue.schedule(Duration::millis(1), [] {});
+  while (!queue.empty()) queue.pop().fn();
+  const std::size_t high_water = queue.slab_capacity();
+  EXPECT_EQ(high_water, 64u);
+  for (int i = 0; i < 1000000; ++i) {
+    queue.schedule(Duration::millis(1), [] {});
+    queue.pop().fn();
+  }
+  EXPECT_EQ(queue.slab_capacity(), high_water);
+}
+
+TEST(EventQueueTest, EagerCancelPreservesDispatchOrderUnderChurn) {
+  // Interleaved schedules and mid-heap cancellations: the survivors must
+  // still come out in (time, scheduling order).  The pattern exercises
+  // remove_heap_at on head, middle, and tail positions.
+  EventQueue queue;
+  std::vector<int> order;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 100; ++i) {
+    // Times descend then ascend so cancellations hit varied heap spots.
+    const double ms = (i * 37) % 100 + 1;
+    handles.push_back(queue.schedule(
+        Duration::millis(ms), [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 0; i < 100; i += 3) handles[static_cast<std::size_t>(i)].cancel();
+  SimTime prev = Duration::zero();
+  while (!queue.empty()) {
+    EXPECT_LE(prev, queue.next_time());
+    prev = queue.next_time();
+    queue.pop().fn();
+  }
+  std::size_t expected = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (i % 3 != 0) ++expected;
+    EXPECT_EQ(std::count(order.begin(), order.end(), i), i % 3 == 0 ? 0 : 1);
+  }
+  EXPECT_EQ(order.size(), expected);
+}
+
+TEST(EventQueueTest, PopMovesMoveOnlyCallback) {
+  EventQueue queue;
+  auto payload = std::make_unique<int>(42);
+  int seen = 0;
+  queue.schedule(Duration::millis(1),
+                 [p = std::move(payload), &seen] { seen = *p; });
+  auto event = queue.pop();
+  event.fn();
+  EXPECT_EQ(seen, 42);
 }
 
 }  // namespace

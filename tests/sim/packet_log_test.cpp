@@ -48,7 +48,7 @@ TEST_F(LogFixture, RecordsDeliveriesWithTimestamps) {
   EXPECT_EQ(events[0].kind, PacketEventKind::kDelivered);
   EXPECT_EQ(events[0].packet_id, 100u);
   EXPECT_EQ(events[0].flow, 1u);
-  EXPECT_EQ(events[0].link, "a->b");
+  EXPECT_EQ(log.link_name(events[0].link_id), "a->b");
   // 512 B at 128 kb/s = 32 ms service + 5 ms propagation.
   EXPECT_EQ(events[0].at, Duration::millis(37));
 }
@@ -120,6 +120,23 @@ TEST_F(LogFixture, CsvDump) {
 
 TEST_F(LogFixture, RejectsZeroCapacity) {
   EXPECT_THROW(PacketLog(0), std::invalid_argument);
+}
+
+TEST_F(LogFixture, InternsLinkNamesOncePerName) {
+  PacketLog log;
+  // Both directions of the duplex link share the configured name, so the
+  // side table holds a single entry and every event carries a 4-byte id.
+  log.attach(simulator, net.link(a, b));
+  log.attach(simulator, net.link(b, a));
+  ASSERT_EQ(log.link_names().size(), 1u);
+  EXPECT_EQ(log.link_names()[0], "a->b");
+  send(1, 5);
+  simulator.run_to_completion();
+  const auto& events = log.events();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events[0].link_id, 0u);
+  EXPECT_EQ(log.link_name(0), "a->b");
+  EXPECT_THROW(log.link_name(1), std::out_of_range);
 }
 
 }  // namespace

@@ -94,5 +94,50 @@ TEST(SimulatorTest, CancelledEventsAreNotDispatched) {
   EXPECT_EQ(simulator.events_dispatched(), 0u);
 }
 
+TEST(SimulatorTest, RunUntilWithOnlyCancelledEventsAdvancesClockToEnd) {
+  // Eager cancellation empties the queue, but run_until's clock contract
+  // is unchanged: the clock still lands on `end`, never on the cancelled
+  // event's time.
+  Simulator simulator;
+  auto handle = simulator.schedule_in(Duration::millis(10), [] {});
+  handle.cancel();
+  simulator.run_until(Duration::millis(25));
+  EXPECT_EQ(simulator.now(), Duration::millis(25));
+  EXPECT_EQ(simulator.events_dispatched(), 0u);
+}
+
+TEST(SimulatorTest, RunUntilLeavesClockAtEndWhenLastEventIsEarlier) {
+  Simulator simulator;
+  simulator.schedule_in(Duration::millis(10), [] {});
+  simulator.run_until(Duration::seconds(2));
+  EXPECT_EQ(simulator.now(), Duration::seconds(2));
+}
+
+TEST(SimulatorTest, PendingEventsCountsLiveEventsOnly) {
+  Simulator simulator;
+  auto a = simulator.schedule_in(Duration::millis(1), [] {});
+  simulator.schedule_in(Duration::millis(2), [] {});
+  simulator.schedule_in(Duration::millis(3), [] {});
+  EXPECT_EQ(simulator.pending_events(), 3u);
+  a.cancel();
+  EXPECT_EQ(simulator.pending_events(), 2u);  // eager: gone immediately
+  simulator.run_until(Duration::millis(2));
+  EXPECT_EQ(simulator.pending_events(), 1u);
+  simulator.run_to_completion();
+  EXPECT_EQ(simulator.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, RetransmitTimerChurnKeepsQueueSmall) {
+  // End-to-end guard for the unbounded-growth regression: a source that
+  // rearms its RTO on every ack must leave at most one live timer.
+  Simulator simulator;
+  EventHandle rto;
+  for (int i = 0; i < 50000; ++i) {
+    rto.cancel();
+    rto = simulator.schedule_in(Duration::seconds(30), [] {});
+  }
+  EXPECT_EQ(simulator.pending_events(), 1u);
+}
+
 }  // namespace
 }  // namespace bolot::sim

@@ -1,0 +1,103 @@
+#include "util/inplace_function.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace bolot::util {
+namespace {
+
+TEST(InplaceFunctionTest, DefaultIsEmptyAndThrowsOnCall) {
+  InplaceFunction<void()> fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+  EXPECT_THROW(fn(), std::bad_function_call);
+}
+
+TEST(InplaceFunctionTest, InvokesStoredCallable) {
+  int calls = 0;
+  InplaceFunction<void()> fn = [&calls] { ++calls; };
+  EXPECT_TRUE(static_cast<bool>(fn));
+  fn();
+  fn();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InplaceFunctionTest, ForwardsArgumentsAndReturnsValues) {
+  InplaceFunction<int(int, int)> add = [](int a, int b) { return a + b; };
+  EXPECT_EQ(add(2, 3), 5);
+}
+
+TEST(InplaceFunctionTest, MoveTransfersCallableAndEmptiesSource) {
+  int calls = 0;
+  InplaceFunction<void()> a = [&calls] { ++calls; };
+  InplaceFunction<void()> b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  b();
+  EXPECT_EQ(calls, 1);
+
+  InplaceFunction<void()> c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InplaceFunctionTest, MoveAssignmentDestroysPreviousCallable) {
+  auto counter = std::make_shared<int>(0);  // use_count tracks live copies
+  InplaceFunction<void()> fn = [counter] {};
+  EXPECT_EQ(counter.use_count(), 2);
+  fn = [] {};
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(InplaceFunctionTest, HoldsMoveOnlyCallable) {
+  auto payload = std::make_unique<int>(7);
+  InplaceFunction<int()> fn = [p = std::move(payload)] { return *p; };
+  EXPECT_EQ(fn(), 7);
+  InplaceFunction<int()> moved = std::move(fn);
+  EXPECT_EQ(moved(), 7);
+}
+
+TEST(InplaceFunctionTest, ResetDestroysCallable) {
+  auto counter = std::make_shared<int>(0);
+  InplaceFunction<void()> fn = [counter] {};
+  EXPECT_EQ(counter.use_count(), 2);
+  fn.reset();
+  EXPECT_FALSE(static_cast<bool>(fn));
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(InplaceFunctionTest, DestructorReleasesCapturedState) {
+  auto counter = std::make_shared<int>(0);
+  {
+    InplaceFunction<void()> fn = [counter] {};
+    EXPECT_EQ(counter.use_count(), 2);
+  }
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(InplaceFunctionTest, AcceptsCallableFillingWholeCapacity) {
+  struct Big {
+    char bytes[64];  // exactly the default capacity
+    char operator()() const { return bytes[0]; }
+  };
+  Big big{};
+  big.bytes[0] = 'x';
+  InplaceFunction<char()> fn = big;
+  EXPECT_EQ(fn(), 'x');
+}
+
+TEST(InplaceFunctionTest, WrapsStdFunction) {
+  // The simulator test suite schedules std::function chains; wrapping one
+  // must work (and fit: sizeof(std::function) == 32 on libstdc++).
+  int calls = 0;
+  std::function<void()> inner = [&calls] { ++calls; };
+  InplaceFunction<void()> fn = inner;
+  fn();
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace bolot::util
