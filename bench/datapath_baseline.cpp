@@ -1,0 +1,222 @@
+// Tracked perf baseline for the per-packet forwarding datapath — the layer
+// above the event core that sim_core_baseline tracks.  Three kernels:
+//
+//   chain3_saturated   a 3-hop chain driven by a CBR source at exactly the
+//                      line rate: every hop traversal exercises enqueue ->
+//                      transmit -> propagate -> sink with a steadily busy
+//                      transmitter.  The headline packets/s number.
+//   chain3_hooked      the same chain with PacketLog + DropMonitor chained
+//                      onto every link, pricing the instrumented datapath.
+//   inria_umd_mixed    the Table-1 INRIA->UMd topology under the paper's
+//                      probe + bulk (FTP) + interactive (Telnet) cross
+//                      traffic, the full 10-minute run at delta = 20 ms —
+//                      end-to-end packets/s through a real scenario.
+//
+// Emits BENCH_datapath.{json,csv} (runner/sweep_io convention) into --out
+// DIR, defaulting to the current directory.  CI runs it on every push and
+// uploads the JSON next to BENCH_sim_core, establishing a trajectory of
+// hop-deliveries/sec and events-per-delivery per commit (trend only, no
+// thresholds); tools/bench_diff.py prints the delta between two artifacts.
+//
+// Reference numbers on the development machine (same host, interleaved
+// runs, median of 3), before and after the coalesced/rearm datapath:
+//
+//   chain3_saturated   8.78 M pkts/s  ->  13.88 M pkts/s   (1.58x)
+//   chain3_hooked      7.95 M pkts/s  ->  12.11 M pkts/s   (1.52x)
+//   inria_umd_mixed    7.28 M pkts/s  ->   9.14 M pkts/s   (1.26x)
+//
+// Events per delivery are unchanged (2.333 on the chain: completion +
+// arrival per hop, plus the source timer) — the win is per-event cost,
+// not event count.
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "runner/sweep.h"
+#include "runner/sweep_cli.h"
+#include "runner/sweep_io.h"
+#include "scenario/scenarios.h"
+#include "sim/link.h"
+#include "sim/monitor.h"
+#include "sim/network.h"
+#include "sim/packet_log.h"
+#include "sim/simulator.h"
+#include "sim/traffic.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace bolot;
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct DatapathResult {
+  std::uint64_t hop_deliveries = 0;  // per-link deliveries, summed
+  std::uint64_t end_to_end = 0;      // packets that reached a receiver
+  std::uint64_t events = 0;          // kernel events dispatched
+  double wall_seconds = 0.0;
+};
+
+/// 3-hop chain at line rate: the bare-metal forwarding number.
+DatapathResult run_chain3(bool instrumented) {
+  sim::Simulator simulator;
+  sim::Network net(simulator, /*rng_seed=*/7);
+  const sim::NodeId n0 = net.add_node("n0");
+  const sim::NodeId n1 = net.add_node("n1");
+  const sim::NodeId n2 = net.add_node("n2");
+  const sim::NodeId n3 = net.add_node("n3");
+
+  sim::LinkConfig config;
+  config.rate_bps = 1.024e9;  // 512 B -> exactly 4 us of service
+  config.propagation = Duration::micros(10);
+  config.buffer_packets = 64;
+  config.name = "hop0";
+  net.add_link(n0, n1, config);
+  config.name = "hop1";
+  net.add_link(n1, n2, config);
+  config.name = "hop2";
+  net.add_link(n2, n3, config);
+
+  sim::PacketLog log(1024);  // deliberately small: steady-state ring reuse
+  sim::DropMonitor drops;
+  if (instrumented) {
+    log.attach(simulator, net.link(n0, n1));
+    log.attach(simulator, net.link(n1, n2));
+    log.attach(simulator, net.link(n2, n3));
+    drops.attach(net.link(n0, n1));
+    drops.attach(net.link(n1, n2));
+    drops.attach(net.link(n2, n3));
+  }
+
+  std::uint64_t received = 0;
+  net.set_receiver(n3, [&received](sim::Packet&&) { ++received; });
+
+  // CBR at exactly the service rate: the transmitter stays busy, the queue
+  // stays shallow, nothing drops.
+  sim::CbrSource source(simulator, net, n0, n3, /*flow=*/1,
+                        sim::PacketKind::kBulk, Rng(11),
+                        Duration::micros(4), /*packet_bytes=*/512);
+  net.compute_routes();
+  source.start(SimTime());
+
+  const Duration sim_span = Duration::seconds(4);
+  const auto start = Clock::now();
+  simulator.run_until(sim_span);
+  source.stop();
+  simulator.run_to_completion();
+  DatapathResult result;
+  result.wall_seconds = seconds_since(start);
+  result.hop_deliveries = net.total_delivered();
+  result.end_to_end = received;
+  result.events = simulator.events_dispatched();
+  return result;
+}
+
+/// The paper's Table-1 path with its default probe + bulk + interactive mix.
+DatapathResult run_inria_umd_mixed() {
+  scenario::ProbePlan plan;
+  plan.delta = Duration::millis(20);
+  plan.duration = Duration::minutes(10);
+  const auto start = Clock::now();
+  const scenario::ScenarioResult scenario = scenario::run_inria_umd(plan);
+  DatapathResult result;
+  result.wall_seconds = seconds_since(start);
+  result.hop_deliveries = scenario.hop_deliveries;
+  result.end_to_end = scenario.trace.received_count();
+  result.events = scenario.events;
+  return result;
+}
+
+std::vector<runner::Metric> to_metrics(const DatapathResult& r) {
+  const double hops = static_cast<double>(r.hop_deliveries);
+  std::vector<runner::Metric> metrics;
+  metrics.push_back({"hop_deliveries", hops});
+  metrics.push_back({"end_to_end", static_cast<double>(r.end_to_end)});
+  metrics.push_back({"events", static_cast<double>(r.events)});
+  metrics.push_back({"kernel_wall_seconds", r.wall_seconds});
+  if (r.wall_seconds > 0.0) {
+    metrics.push_back({"packets_per_sec", hops / r.wall_seconds});
+  }
+  if (r.hop_deliveries > 0) {
+    metrics.push_back(
+        {"events_per_delivery", static_cast<double>(r.events) / hops});
+  }
+  return metrics;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  runner::SweepCli cli;
+  try {
+    cli = runner::parse_sweep_cli(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n"
+              << runner::sweep_cli_usage("datapath_baseline");
+    return 2;
+  }
+  if (cli.out_dir.empty()) cli.out_dir = ".";
+
+  const std::vector<std::string> kernels = {"chain3_saturated", "chain3_hooked",
+                                            "inria_umd_mixed"};
+  std::vector<runner::RunSpec> specs;
+  for (const std::string& kernel : kernels) {
+    runner::RunSpec spec;
+    spec.label = kernel;
+    specs.push_back(std::move(spec));
+  }
+
+  runner::SweepOptions options;
+  options.name = "datapath";
+  options.threads = 1;  // timing kernels must not share cores
+  options.base_seed = cli.base_seed;
+
+  const runner::SweepResult sweep = runner::run_sweep(
+      specs,
+      [&](const runner::RunContext& ctx) {
+        const std::string& kernel = ctx.spec->label;
+        if (kernel == "chain3_saturated") {
+          return to_metrics(run_chain3(/*instrumented=*/false));
+        }
+        if (kernel == "chain3_hooked") {
+          return to_metrics(run_chain3(/*instrumented=*/true));
+        }
+        return to_metrics(run_inria_umd_mixed());
+      },
+      options);
+
+  TextTable table;
+  table.row({"kernel", "hop deliveries", "packets/sec", "events/delivery",
+             "wall(s)"});
+  for (const runner::RunResult& run : sweep.runs) {
+    if (run.failed) {
+      std::cerr << run.label << ": " << run.error << "\n";
+      return 1;
+    }
+    const double* rate = run.metric("packets_per_sec");
+    const double* epd = run.metric("events_per_delivery");
+    table.row({});
+    table.cell(run.label)
+        .cell(static_cast<std::int64_t>(*run.metric("hop_deliveries")))
+        .cell(rate != nullptr ? *rate : 0.0, 0)
+        .cell(epd != nullptr ? *epd : 0.0, 3)
+        .cell(*run.metric("kernel_wall_seconds"), 4);
+  }
+  std::cout << "Packet-datapath perf baseline\n\n";
+  table.print(std::cout);
+
+  try {
+    const std::string path = runner::write_sweep_artifacts(sweep, cli.out_dir);
+    std::cout << "\nartifacts: " << path << " (+ .csv)\n";
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

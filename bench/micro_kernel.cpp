@@ -94,10 +94,11 @@ void BM_LinkForwarding(benchmark::State& state) {
     std::uint64_t delivered = 0;
     link.set_sink([&delivered](sim::Packet&&) { ++delivered; });
     for (int i = 0; i < 1000; ++i) {
-      sim::Packet p;
-      p.size_bytes = 512;
-      simulator.schedule_in(Duration::micros(i * 500),
-                            [&link, p]() mutable { link.enqueue(std::move(p)); });
+      simulator.schedule_in(Duration::micros(i * 500), [&link] {
+        sim::Packet p;
+        p.size_bytes = 512;
+        link.enqueue(std::move(p));
+      });
     }
     simulator.run_to_completion();
     benchmark::DoNotOptimize(delivered);
@@ -164,10 +165,11 @@ void BM_RedLinkForwarding(benchmark::State& state) {
     std::uint64_t delivered = 0;
     link.set_sink([&delivered](sim::Packet&&) { ++delivered; });
     for (int i = 0; i < 1000; ++i) {
-      sim::Packet p;
-      p.size_bytes = 512;
-      simulator.schedule_in(Duration::micros(i * 300),
-                            [&link, p]() mutable { link.enqueue(std::move(p)); });
+      simulator.schedule_in(Duration::micros(i * 300), [&link] {
+        sim::Packet p;
+        p.size_bytes = 512;
+        link.enqueue(std::move(p));
+      });
     }
     simulator.run_to_completion();
     benchmark::DoNotOptimize(delivered);

@@ -159,6 +159,7 @@ ScenarioResult run_chain(const ChainSpec& spec, const ProbePlan& plan,
   result.bottleneck_reverse = net.link(downstream, upstream).stats();
   result.total_overflow_drops = net.total_overflow_drops();
   result.total_random_drops = net.total_random_drops();
+  result.hop_deliveries = net.total_delivered();
   result.simulated = end;
   result.events = simulator.events_dispatched();
   return result;

@@ -79,6 +79,9 @@ struct ScenarioResult {
   sim::LinkStats bottleneck_reverse;
   std::uint64_t total_overflow_drops = 0;
   std::uint64_t total_random_drops = 0;
+  /// Per-link deliveries summed over every link (hop traversals); the
+  /// datapath perf baseline divides this by wall time.
+  std::uint64_t hop_deliveries = 0;
   Duration simulated;
   std::uint64_t events = 0;
 };

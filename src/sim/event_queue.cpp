@@ -77,4 +77,10 @@ void EventQueue::throw_past() {
 
 void EventQueue::throw_empty(const char* what) { throw std::logic_error(what); }
 
+void EventQueue::throw_bad_rearm() {
+  throw std::logic_error(
+      "EventQueue: reschedule_current outside a dispatching callback, or "
+      "called twice in one dispatch");
+}
+
 }  // namespace bolot::sim

@@ -5,8 +5,12 @@
 // the contiguous heap array and never chase pointers.  Callback closures
 // live inline in a slab of reusable slots (InplaceFunction, no heap
 // fallback); schedule() constructs the closure directly in its slot and
-// pop() moves it out, so after the slab and heap vectors reach their
-// high-water marks a schedule -> dispatch cycle performs zero allocations.
+// dispatch_top() invokes it there (no move out), so after the slab and
+// heap vectors reach their high-water marks a schedule -> dispatch cycle
+// performs zero allocations.  Self-re-arming events (a link transmitter
+// clocking back-to-back packets, a periodic source) go one step further:
+// reschedule_current() re-queues the dispatching slot for one heap push,
+// with no slab traffic and no closure construction at all.
 //
 // Events at equal timestamps are dispatched in scheduling order (FIFO via
 // a monotonically increasing sequence number), so a simulation is a pure
@@ -37,12 +41,14 @@
 
 namespace bolot::sim {
 
-/// Inline capacity for event callbacks.  Sized for the largest closure in
-/// the simulator (a Link delivery lambda capturing a Packet by value plus
-/// the link pointer); InplaceFunction static_asserts at the call site if a
-/// larger closure is ever scheduled, so this can never silently regress to
-/// heap allocation.
-inline constexpr std::size_t kEventFnCapacity = 128;
+/// Inline capacity for event callbacks.  Every closure on the simulator's
+/// hot path captures only `this` (the coalesced link datapath keeps
+/// Packets in per-link rings, not in closures); 48 bytes leaves room for
+/// test and example lambdas with a few captures while keeping a slab slot
+/// at 80 bytes.  InplaceFunction static_asserts at the call site if a
+/// larger closure is ever scheduled, so this can never silently regress
+/// to heap allocation.
+inline constexpr std::size_t kEventFnCapacity = 48;
 
 using EventFn = util::InplaceFunction<void(), kEventFnCapacity>;
 
@@ -131,6 +137,63 @@ class EventQueue {
     release_slot(index);
     last_popped_ = popped.at;
     return popped;
+  }
+
+  /// Dispatches the earliest pending event in place: the closure runs
+  /// from its slot, with no move out and no slab traffic when the
+  /// callback re-arms itself (see reschedule_current).  `on_advance(at)`
+  /// runs before the closure so the caller can advance its clock.
+  /// Requires !empty().
+  template <typename OnAdvance>
+  void dispatch_top(OnAdvance&& on_advance) {
+    if (heap_.empty()) throw_empty("EventQueue: dispatch on empty");
+    const std::uint32_t index = heap_[0].slot;
+    const SimTime at = heap_[0].at;
+    last_popped_ = at;
+    // Root removal, specialised: the tail entry can only sink, so the
+    // sift_up that remove_heap_at() needs for interior removals is dead
+    // weight here.
+    const HeapEntry moved = heap_.back();
+    heap_.pop_back();
+    // The dispatching slot is out of the heap but not yet released; mark
+    // it un-queued so a callback cancelling its own handle (the TCP
+    // timeout pattern) is a no-op, exactly as when the slot was released
+    // before invocation.  A rearm re-establishes the position on push.
+    heap_pos_[index] = kNone;
+    if (!heap_.empty()) {
+      heap_[0] = moved;
+      heap_pos_[moved.slot] = 0;
+      sift_down(0);
+    }
+    dispatching_ = index;
+    rearm_seq_ = kNoRearm;
+    on_advance(at);
+    slot_at(index).fn();
+    if (rearm_seq_ != kNoRearm) {
+      // Re-queue the very closure that just ran, slab untouched.  The
+      // sequence number was taken inside the callback, so the dispatch
+      // order is exactly that of a fresh schedule() at the same point.
+      heap_.push_back(HeapEntry{rearm_at_, rearm_seq_, index});
+      sift_up(heap_.size() - 1);
+    } else {
+      release_slot(index);
+    }
+    dispatching_ = kNone;
+  }
+
+  /// From within a dispatching callback only: re-queues the *currently
+  /// dispatching* event at `at`, reusing its slot and closure.  The
+  /// steady-state fast path for self-re-arming events (link transmitter
+  /// and propagation chains, periodic sources): a fresh schedule() of an
+  /// identical closure costs slab release + allocation + closure
+  /// construction; a rearm costs one heap push.  At most one rearm per
+  /// dispatch.  The event's handle stays valid and cancels the re-armed
+  /// incarnation.
+  void reschedule_current(SimTime at) {
+    if (dispatching_ == kNone || rearm_seq_ != kNoRearm) throw_bad_rearm();
+    if (at < last_popped_) throw_past();
+    rearm_at_ = at;
+    rearm_seq_ = next_seq_++;
   }
 
   /// Number of live (scheduled, not yet fired or cancelled) events.
@@ -252,6 +315,7 @@ class EventQueue {
 
   [[noreturn]] static void throw_past();
   [[noreturn]] static void throw_empty(const char* what);
+  [[noreturn]] static void throw_bad_rearm();
 
   // Slot storage is split so the hot heap operations stay in compact,
   // trivially-copyable arrays: heap_pos_ (written on every sift step)
@@ -263,6 +327,12 @@ class EventQueue {
   std::uint32_t free_head_ = kNone;
   std::uint64_t next_seq_ = 0;
   SimTime last_popped_;
+
+  // In-place dispatch state (dispatch_top / reschedule_current).
+  static constexpr std::uint64_t kNoRearm = UINT64_MAX;
+  std::uint32_t dispatching_ = kNone;  // slot mid-dispatch, else kNone
+  std::uint64_t rearm_seq_ = kNoRearm;
+  SimTime rearm_at_;
 };
 
 inline void EventHandle::cancel() {

@@ -29,6 +29,41 @@ Link::Link(Simulator& sim, LinkConfig config, Rng drop_rng)
       throw std::invalid_argument("Link: malformed RED configuration");
     }
   }
+  // The buffer bound is the high-water mark by construction, so the queue
+  // ring never grows after this.  The flight ring starts small and reaches
+  // its own high-water mark (propagation / service time) within the first
+  // busy period.
+  queue_.reserve(config_.buffer_packets);
+}
+
+void Link::add_drop_hook(DropHook hook) {
+  if (!hook) return;
+  if (drop_hook_count_ == kMaxHooks) {
+    throw std::length_error("Link: drop-hook chain full");
+  }
+  drop_hooks_[drop_hook_count_++] = std::move(hook);
+}
+
+void Link::add_delivery_hook(DeliveryHook hook) {
+  if (!hook) return;
+  if (delivery_hook_count_ == kMaxHooks) {
+    throw std::length_error("Link: delivery-hook chain full");
+  }
+  delivery_hooks_[delivery_hook_count_++] = std::move(hook);
+}
+
+void Link::set_drop_hook(DropHook hook) {
+  for (std::uint8_t i = 0; i < drop_hook_count_; ++i) drop_hooks_[i].reset();
+  drop_hook_count_ = 0;
+  add_drop_hook(std::move(hook));
+}
+
+void Link::set_delivery_hook(DeliveryHook hook) {
+  for (std::uint8_t i = 0; i < delivery_hook_count_; ++i) {
+    delivery_hooks_[i].reset();
+  }
+  delivery_hook_count_ = 0;
+  add_delivery_hook(std::move(hook));
 }
 
 bool Link::red_admits(std::size_t queue_length) {
@@ -36,12 +71,17 @@ bool Link::red_admits(std::size_t queue_length) {
   if (queue_length == 0) {
     // Idle-time correction (Floyd & Jacobson): a packet arriving to an
     // empty queue sees the average decayed by (1-w)^m for the m
-    // packet-service slots the queue sat empty, as if m small packets had
-    // arrived to an empty queue in the interim.
-    const double slots =
-        (sim_.now() - idle_since_) / service_time(red.mean_packet_bytes);
+    // packet-service slots the queue sat *serviceable* idle, as if m small
+    // packets had arrived to an empty queue in the interim.  Paused spans
+    // are excluded — see red_idle_accrued_.
+    Duration idle = red_idle_accrued_;
+    if (!paused_) idle += sim_.now() - idle_since_;
+    const double slots = idle / service_time(red.mean_packet_bytes);
     if (slots > 0.0) red_avg_ *= std::pow(1.0 - red.weight, slots);
-    idle_since_ = sim_.now();  // decayed up to now; don't decay this span twice
+    red_idle_accrued_ = Duration::zero();
+    if (!paused_) {
+      idle_since_ = sim_.now();  // decayed up to now; don't decay twice
+    }
   } else {
     red_avg_ = (1.0 - red.weight) * red_avg_ +
                red.weight * static_cast<double>(queue_length);
@@ -75,66 +115,106 @@ void Link::enqueue(Packet&& packet) {
     drop(std::move(packet), DropCause::kRandom);
     return;
   }
-  if (config_.red && !red_admits(queue_length())) {
+  if (config_.red && !red_admits(queue_.size())) {
     drop(std::move(packet), DropCause::kRed);
     return;
   }
-  if (queue_length() >= config_.buffer_packets) {
+  if (queue_.size() >= config_.buffer_packets) {
     drop(std::move(packet), DropCause::kOverflow);
     return;
   }
   backlog_bytes_ += packet.size_bytes;
-  if (busy_ || paused_) {
-    queue_.push_back(std::move(packet));
-    stats_.max_queue = std::max(stats_.max_queue, queue_length());
-  } else {
-    start_transmission(std::move(packet));
-  }
+  queue_.push_back(std::move(packet));
+  stats_.max_queue = std::max(stats_.max_queue, queue_.size());
+  if (!busy_ && !paused_) start_front_transmission(/*rearm=*/false);
 }
 
-void Link::pause() { paused_ = true; }
+void Link::pause() {
+  if (paused_) return;
+  // Close the live serviceable-idle span, if one is open: time from here
+  // to resume must not count toward RED's idle decay.
+  if (queue_.empty()) red_idle_accrued_ += sim_.now() - idle_since_;
+  paused_ = true;
+}
 
 void Link::resume() {
   if (!paused_) return;
   paused_ = false;
   if (!busy_ && !queue_.empty()) {
-    Packet next = std::move(queue_.front());
-    queue_.pop_front();
-    start_transmission(std::move(next));
+    start_front_transmission(/*rearm=*/false);
+  } else if (queue_.empty()) {
+    idle_since_ = sim_.now();  // reopen the serviceable-idle span
   }
 }
 
-void Link::start_transmission(Packet&& packet) {
+void Link::start_front_transmission(bool rearm) {
   busy_ = true;
-  in_service_ = std::move(packet);
-  stats_.max_queue = std::max(stats_.max_queue, queue_length());
-  const Duration service = service_time(in_service_.size_bytes);
+  const Duration service = service_time(queue_.front().size_bytes);
   stats_.busy += service;
-  sim_.schedule_in(service, [this] { on_transmission_complete(); });
+  if (rearm) {
+    // Back-to-back service: reuse the completion event that is dispatching
+    // right now instead of a slab release + schedule round trip.
+    sim_.rearm_in(service);
+  } else {
+    sim_.schedule_in(service, [this] { on_transmission_complete(); });
+  }
 }
 
 void Link::on_transmission_complete() {
-  Packet done = std::move(in_service_);
+  Packet& done = queue_.front();
   busy_ = false;
   backlog_bytes_ -= done.size_bytes;
-  if (!paused_ && !queue_.empty()) {
-    Packet next = std::move(queue_.front());
-    queue_.pop_front();
-    start_transmission(std::move(next));
-  } else if (queue_.empty()) {
-    idle_since_ = sim_.now();  // queue just went empty (paused or not)
-  }
   ++stats_.delivered;
   stats_.bytes_delivered += done.size_bytes;
-  if (sink_) {
-    // Deliver after the propagation delay.  The shared_ptr-free capture
-    // moves the packet into the closure.
-    sim_.schedule_in(config_.propagation,
-                     [this, p = std::move(done)]() mutable {
-                       if (delivery_hook_) delivery_hook_(p, sim_.now());
-                       if (sink_) sink_(std::move(p));
-                     });
+  const bool deliver = sink_ || delivery_hook_count_ > 0;
+  if (deliver) {
+    // Hand off to the propagation stage: constant delay means FIFO order,
+    // so one ring + one outstanding arrival event replaces a per-packet
+    // closure (MODEL_NOTES §10).  Moving straight from the queue slot
+    // into the flight slot touches each Packet once.
+    flight_.push_back({sim_.now() + config_.propagation, std::move(done)});
   }
+  queue_.drop_front();
+  // Seq-claim order matters at timestamp ties: the next completion's
+  // rearm must take its sequence number before the arrival schedule, as
+  // in the uncoalesced datapath.
+  if (!paused_ && !queue_.empty()) {
+    start_front_transmission(/*rearm=*/true);
+  } else if (queue_.empty() && !paused_) {
+    idle_since_ = sim_.now();  // queue just went serviceable-idle
+  }
+  if (deliver && !arrival_armed_) arm_arrival(/*rearm=*/false);
+}
+
+void Link::arm_arrival(bool rearm) {
+  arrival_armed_ = true;
+  if (rearm) {
+    sim_.rearm_at(flight_.front().arrive_at);
+  } else {
+    sim_.schedule_at(flight_.front().arrive_at, [this] { on_arrival(); });
+  }
+}
+
+void Link::on_arrival() {
+  // The dropped slot stays readable until the next flight_ push, and
+  // flight_ is only pushed from this link's own completion event — never
+  // synchronously from a hook or sink — so the packet can be consumed in
+  // place instead of moved out.
+  InFlight& flight = flight_.front();
+  flight_.drop_front();
+  // Re-arm before running hooks/sink: downstream work scheduled by the
+  // sink at this same timestamp must dispatch after the already-due next
+  // arrival was sequenced, preserving the per-packet event order of the
+  // uncoalesced datapath.
+  if (flight_.empty()) {
+    arrival_armed_ = false;
+  } else {
+    arm_arrival(/*rearm=*/true);
+  }
+  for (std::uint8_t i = 0; i < delivery_hook_count_; ++i) {
+    delivery_hooks_[i](flight.packet, sim_.now());
+  }
+  if (sink_) sink_(std::move(flight.packet));
 }
 
 void Link::drop(Packet&& packet, DropCause cause) {
@@ -149,7 +229,9 @@ void Link::drop(Packet&& packet, DropCause cause) {
       ++stats_.red_drops;
       break;
   }
-  if (drop_hook_) drop_hook_(packet, cause);
+  for (std::uint8_t i = 0; i < drop_hook_count_; ++i) {
+    drop_hooks_[i](packet, cause);
+  }
 }
 
 }  // namespace bolot::sim

@@ -5,16 +5,26 @@
 // An optional random-drop stage models the faulty Ethernet/FDDI interface
 // cards reported by Mishra & Sanghi (up to 3% random loss on SURAnet),
 // which the paper cites to explain part of the ~10% stationary probe loss.
+//
+// Datapath layout (allocation-free at steady state; see MODEL_NOTES §10):
+// packets wait in a preallocated ring whose front slot is the packet in
+// service; on transmission-complete they move to a second ring of
+// in-flight packets ordered by arrival time, drained by a single
+// re-arming "next arrival" event.  A packet traversing the link therefore
+// costs two slab events (completion + arrival) with tiny [this] closures,
+// and the number of *pending* events per link is O(1) regardless of how
+// many packets are on the wire.
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <optional>
 #include <string>
 
 #include "sim/packet.h"
 #include "sim/simulator.h"
+#include "util/inplace_function.h"
+#include "util/ring_buffer.h"
 #include "util/rng.h"
 #include "util/time.h"
 
@@ -73,13 +83,24 @@ struct LinkStats {
 
 class Link {
  public:
-  using Sink = std::function<void(Packet&&)>;
+  /// Hooks live inline in the Link (no heap, no std::function): a closure
+  /// must fit kHookCapacity bytes, enforced at compile time.
+  static constexpr std::size_t kHookCapacity = 48;
+  /// Observation hooks form small chains (e.g. PacketLog + DropMonitor on
+  /// the same link); each link holds up to kMaxHooks of each kind.
+  static constexpr std::size_t kMaxHooks = 4;
+
+  using Sink = util::InplaceFunction<void(Packet&&), kHookCapacity>;
   /// Called for every dropped packet (after stats are updated); used by
   /// the tracing layer.
-  using DropHook = std::function<void(const Packet&, DropCause cause)>;
-  /// Observation hook invoked at the instant a packet is handed to the
-  /// sink (after service + propagation); does not affect forwarding.
-  using DeliveryHook = std::function<void(const Packet&, SimTime at)>;
+  using DropHook =
+      util::InplaceFunction<void(const Packet&, DropCause cause),
+                            kHookCapacity>;
+  /// Observation hook invoked at the instant a packet arrives at the far
+  /// end (after service + propagation); does not affect forwarding.  Fires
+  /// even on links without a sink (instrumented dead-ends).
+  using DeliveryHook =
+      util::InplaceFunction<void(const Packet&, SimTime at), kHookCapacity>;
 
   Link(Simulator& sim, LinkConfig config, Rng drop_rng);
 
@@ -88,42 +109,65 @@ class Link {
 
   /// Pauses/resumes the transmitter (a frozen gateway: packets queue but
   /// nothing is clocked onto the wire).  The packet mid-transmission
-  /// completes; the queue then holds until resume.  Models the periodic
-  /// gateway stalls Sanghi et al. diagnosed (the paper's "dramatic delay
-  /// increase every 90 seconds" example).
+  /// completes, and packets already past the transmitter stay in flight
+  /// and arrive on time; the queue then holds until resume.  Models the
+  /// periodic gateway stalls Sanghi et al. diagnosed (the paper's
+  /// "dramatic delay increase every 90 seconds" example).
   void pause();
   void resume();
   bool paused() const { return paused_; }
 
   void set_sink(Sink sink) { sink_ = std::move(sink); }
-  void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
-  void set_delivery_hook(DeliveryHook hook) {
-    delivery_hook_ = std::move(hook);
-  }
+
+  /// Appends a hook, chaining after any already installed (fires in
+  /// installation order).  Throws std::length_error past kMaxHooks.
+  void add_drop_hook(DropHook hook);
+  void add_delivery_hook(DeliveryHook hook);
+
+  /// Replaces the whole chain with the given hook (empty hook = clear).
+  void set_drop_hook(DropHook hook);
+  void set_delivery_hook(DeliveryHook hook);
 
   const LinkConfig& config() const { return config_; }
   const LinkStats& stats() const { return stats_; }
 
   /// Packets currently buffered, including the one in service.
-  std::size_t queue_length() const {
-    return queue_.size() + (busy_ ? 1 : 0);
-  }
+  std::size_t queue_length() const { return queue_.size(); }
   /// Bytes currently buffered (whole packets, including the one in
   /// service at its full size — a slight overestimate mid-transmission).
   std::int64_t backlog_bytes() const { return backlog_bytes_; }
   bool busy() const { return busy_; }
+  /// Packets past the transmitter, still propagating toward the far end.
+  std::size_t in_flight() const { return flight_.size(); }
 
-  /// Time to clock one packet of `bytes` onto the wire.
+  /// Time to clock one packet of `bytes` onto the wire.  Memoized on the
+  /// last size seen: fixed-size flows (probes, CBR, TCP segments) pay the
+  /// divide-and-round once instead of per packet.
   Duration service_time(std::int64_t bytes) const {
-    return transmission_time(bytes * 8, config_.rate_bps);
+    if (bytes != service_memo_bytes_) {
+      service_memo_bytes_ = bytes;
+      service_memo_ = transmission_time(bytes * 8, config_.rate_bps);
+    }
+    return service_memo_;
   }
 
   /// Current RED average queue estimate (0 when RED is off); for tests.
   double red_average_queue() const { return red_avg_; }
 
  private:
-  void start_transmission(Packet&& packet);
+  struct InFlight {
+    SimTime arrive_at;
+    Packet packet;
+  };
+
+  /// `rearm` is true only when called from the completion callback
+  /// itself, where the event slot can be reused (Simulator::rearm_in).
+  void start_front_transmission(bool rearm);
   void on_transmission_complete();
+  /// Schedules the single outstanding arrival event for flight_.front();
+  /// `rearm` is true only when called from the arrival callback itself.
+  void arm_arrival(bool rearm);
+  void on_arrival();
   void drop(Packet&& packet, DropCause cause);
   bool red_admits(std::size_t queue_length);
 
@@ -131,24 +175,42 @@ class Link {
   LinkConfig config_;
   Rng drop_rng_;
   Sink sink_;
-  DropHook drop_hook_;
-  DeliveryHook delivery_hook_;
+  std::array<DropHook, kMaxHooks> drop_hooks_;
+  std::array<DeliveryHook, kMaxHooks> delivery_hooks_;
+  std::uint8_t drop_hook_count_ = 0;
+  std::uint8_t delivery_hook_count_ = 0;
 
-  std::deque<Packet> queue_;  // waiting packets (not the one in service)
+  /// Waiting packets; when busy_, front() is the packet in service.  Full
+  /// capacity (buffer_packets) is reserved at construction, so enqueue
+  /// never allocates.
+  util::RingBuffer<Packet> queue_;
+  /// Packets past the transmitter, FIFO by arrival time (propagation is
+  /// constant, so transmit order == arrival order).  Only front() has an
+  /// event scheduled; on_arrival re-arms for the next.
+  util::RingBuffer<InFlight> flight_;
+  bool arrival_armed_ = false;
   std::int64_t backlog_bytes_ = 0;
   bool busy_ = false;
-  Packet in_service_;
   LinkStats stats_;
 
   bool paused_ = false;
 
+  // service_time() memoization (see the accessor).
+  mutable std::int64_t service_memo_bytes_ = -1;
+  mutable Duration service_memo_;
+
   // RED state.
   double red_avg_ = 0.0;
   std::int64_t red_count_ = -1;  // packets since the last RED drop
-  /// When the queue last became empty; the idle-time correction decays
-  /// red_avg_ over [idle_since_, now) on arrival to an empty queue.  The
-  /// link starts idle at t = 0.
+  /// Start of the current *serviceable* idle span (queue empty and link
+  /// not paused); the idle-time correction decays red_avg_ over that span
+  /// on arrival to an empty queue.  The link starts idle at t = 0.
   SimTime idle_since_;
+  /// Serviceable idle time accrued before a pause but not yet applied to
+  /// red_avg_ (no packet arrived in the span).  Paused-but-empty time is
+  /// deliberately excluded: a frozen transmitter could not have drained
+  /// anything, so it must not decay the average.
+  Duration red_idle_accrued_;
 };
 
 }  // namespace bolot::sim

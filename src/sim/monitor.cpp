@@ -31,7 +31,9 @@ void QueueMonitor::sample() {
     samples_.push_back(link_.service_time(link_.backlog_bytes()).millis());
   }
   times_.push_back(sim_.now());
-  pending_ = sim_.schedule_in(interval_, [this] { sample(); });
+  // sample() only runs from its own event; re-arm it in place (pending_
+  // stays valid for stop()).
+  sim_.rearm_in(interval_);
 }
 
 analysis::Summary QueueMonitor::occupancy() const {
@@ -46,7 +48,7 @@ double QueueMonitor::fraction_at_or_above(double threshold) const {
 }
 
 void DropMonitor::attach(Link& link) {
-  link.set_drop_hook([this](const Packet& packet, DropCause cause) {
+  link.add_drop_hook([this](const Packet& packet, DropCause cause) {
     record(packet, cause);
   });
 }

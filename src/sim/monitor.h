@@ -54,9 +54,9 @@ class QueueMonitor {
   std::vector<SimTime> times_;
 };
 
-/// Aggregates drop causes per flow across any number of links (attach()
-/// chains onto each link's drop hook; attach all links before installing
-/// other hooks, as it replaces the hook).
+/// Aggregates drop causes per flow across any number of links; attach()
+/// chains onto each link's drop hook, so it composes with PacketLog and
+/// other instrumentation in any attach order.
 class DropMonitor {
  public:
   struct FlowDrops {

@@ -189,4 +189,10 @@ std::uint64_t Network::total_random_drops() const {
   return total;
 }
 
+std::uint64_t Network::total_delivered() const {
+  std::uint64_t total = 0;
+  for (const auto& dl : links_) total += dl.link->stats().delivered;
+  return total;
+}
+
 }  // namespace bolot::sim

@@ -3,7 +3,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -11,6 +10,7 @@
 #include "sim/link.h"
 #include "sim/packet.h"
 #include "sim/simulator.h"
+#include "util/inplace_function.h"
 #include "util/rng.h"
 
 namespace bolot::sim {
@@ -24,8 +24,10 @@ struct TracerouteHop {
 class Network {
  public:
   /// Delivered packets are handed to the receiver registered at their
-  /// destination node.
-  using Receiver = std::function<void(Packet&&)>;
+  /// destination node.  Inline storage (no std::function): a receiver
+  /// closure must fit Link::kHookCapacity bytes, enforced at compile time.
+  using Receiver =
+      util::InplaceFunction<void(Packet&&), Link::kHookCapacity>;
 
   /// `rng_seed` seeds the per-link random-drop streams.
   Network(Simulator& sim, std::uint64_t rng_seed = 1);
@@ -75,6 +77,8 @@ class Network {
   /// Sum of drops over all links, split by cause.
   std::uint64_t total_overflow_drops() const;
   std::uint64_t total_random_drops() const;
+  /// Sum of per-link deliveries (hop traversals, not end-to-end packets).
+  std::uint64_t total_delivered() const;
   /// Packets dropped mid-path because no route existed (link failures).
   std::uint64_t unroutable_drops() const { return unroutable_drops_; }
 

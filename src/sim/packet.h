@@ -6,8 +6,7 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
-#include <string>
+#include <type_traits>
 
 #include "util/time.h"
 
@@ -26,21 +25,29 @@ enum class PacketKind : std::uint8_t {
 const char* to_string(PacketKind kind);
 
 /// Extra fields carried only by NetDyn probes: the sequence number and the
-/// three timestamp fields of the measurement tool's wire format.
+/// three timestamp fields of the measurement tool's wire format.  Trivial
+/// (no member initializers) so it can live in Packet's payload union;
+/// always aggregate-initialized in full.
 struct ProbePayload {
-  std::uint64_t seq = 0;
+  std::uint64_t seq;
   Duration source_ts;  // stamped when the source sends the probe
   Duration echo_ts;    // stamped when the echo host forwards it back
-  bool echoed = false;
+  bool echoed;
 };
 
 /// TCP segment metadata (see sim/tcp.h): `seq` is the segment index for
-/// data, or the cumulative-ack value for acks.
+/// data, or the cumulative-ack value for acks.  Trivial for the same
+/// reason as ProbePayload.
 struct TcpSegmentInfo {
-  std::uint64_t seq = 0;
-  bool is_ack = false;
+  std::uint64_t seq;
+  bool is_ack;
 };
 
+/// A packet is copied along every hop of the datapath (queue ring, flight
+/// ring), so it is kept trivially copyable and within two cache lines.
+/// The protocol payloads (probe metadata, TCP segment metadata) are
+/// mutually exclusive on the wire, so they share storage in a tagged
+/// union instead of paying for two std::optionals.
 struct Packet {
   std::uint64_t id = 0;          // globally unique, assigned by the creator
   PacketKind kind = PacketKind::kOther;
@@ -49,11 +56,47 @@ struct Packet {
   NodeId src = kInvalidNode;
   NodeId dst = kInvalidNode;
   SimTime created;               // time the packet entered the network
-  std::optional<ProbePayload> probe;
-  std::optional<TcpSegmentInfo> tcp;
 
   std::int64_t size_bits() const { return size_bytes * 8; }
+
+  bool has_probe() const { return payload_ == Payload::kProbe; }
+  bool has_tcp() const { return payload_ == Payload::kTcp; }
+
+  /// Active probe payload.  Requires has_probe().
+  ProbePayload& probe() { return probe_; }
+  const ProbePayload& probe() const { return probe_; }
+
+  /// Active TCP metadata.  Requires has_tcp().
+  TcpSegmentInfo& tcp() { return tcp_; }
+  const TcpSegmentInfo& tcp() const { return tcp_; }
+
+  void set_probe(const ProbePayload& probe) {
+    payload_ = Payload::kProbe;
+    probe_ = probe;
+  }
+  void set_tcp(const TcpSegmentInfo& tcp) {
+    payload_ = Payload::kTcp;
+    tcp_ = tcp;
+  }
+  void clear_payload() { payload_ = Payload::kNone; }
+
+ private:
+  enum class Payload : std::uint8_t { kNone, kProbe, kTcp };
+
+  Payload payload_ = Payload::kNone;
+  union {
+    ProbePayload probe_{};  // initialized variant: keeps Packet{} well-formed
+    TcpSegmentInfo tcp_;
+  };
 };
+
+// The forwarding path moves Packets through preallocated rings by value;
+// these are the properties that keep that path memcpy-cheap.
+static_assert(std::is_trivially_copyable_v<Packet>,
+              "Packet must stay trivially copyable for the datapath rings");
+static_assert(sizeof(Packet) <= 128,
+              "Packet must fit in two cache lines; grow the tagged union "
+              "deliberately, not by accident");
 
 /// Wire size of the paper's probe packets: 32 bytes of UDP payload plus
 /// 8 bytes UDP and 20 bytes IP header, plus link framing rounded to 72.

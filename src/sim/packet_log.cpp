@@ -18,7 +18,7 @@ void PacketLog::attach(Simulator& sim, Link& link) {
   // Intern the name once at attach time; the per-event hooks then store a
   // 4-byte id instead of constructing a std::string per delivery/drop.
   const std::uint32_t link_id = intern_link(link.config().name);
-  link.set_delivery_hook([this, link_id](const Packet& packet, SimTime at) {
+  link.add_delivery_hook([this, link_id](const Packet& packet, SimTime at) {
     PacketEvent event;
     event.at = at;
     event.kind = PacketEventKind::kDelivered;
@@ -29,7 +29,7 @@ void PacketLog::attach(Simulator& sim, Link& link) {
     event.size_bytes = packet.size_bytes;
     record(event);
   });
-  link.set_drop_hook([this, link_id, &sim](const Packet& packet,
+  link.add_drop_hook([this, link_id, &sim](const Packet& packet,
                                            DropCause cause) {
     PacketEvent event;
     event.at = sim.now();

@@ -3,9 +3,9 @@
 // with timestamps, then dump to CSV for external analysis or query it in
 // tests ("which flow lost packets during the burst at t = 3 s?").
 //
-// Delivery events hook the link sink, drop events the drop hook; both
-// hooks chain to whatever was installed before, so logging composes with
-// the Network's own forwarding.
+// Delivery events hook the link delivery hook, drop events the drop hook;
+// both chain to whatever was installed before, so logging composes with
+// DropMonitor and with the Network's own forwarding.
 #pragma once
 
 #include <cstdint>
@@ -40,9 +40,9 @@ class PacketLog {
   /// (ring semantics), and `evicted()` counts them.
   explicit PacketLog(std::size_t capacity = 1 << 20);
 
-  /// Instruments `link`.  Replaces the link's drop hook and delivery
-  /// hook (install PacketLog last if you also use DropMonitor on the same
-  /// link).  `sim` supplies timestamps for drop events.
+  /// Instruments `link`, chaining after any drop/delivery hooks already
+  /// installed (attach order is fire order).  `sim` supplies timestamps
+  /// for drop events.
   void attach(Simulator& sim, Link& link);
 
   const std::vector<PacketEvent>& events() const;

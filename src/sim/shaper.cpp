@@ -17,6 +17,7 @@ TokenBucketShaper::TokenBucketShaper(Simulator& sim, Network& net,
       config_.queue_packets == 0) {
     throw std::invalid_argument("TokenBucketShaper: bad configuration");
   }
+  queue_.reserve(config_.queue_packets);
 }
 
 void TokenBucketShaper::refill_to_now() {
@@ -41,7 +42,7 @@ void TokenBucketShaper::offer(Packet&& packet) {
     return;
   }
   queue_.push_back(std::move(packet));
-  schedule_release();
+  schedule_release(/*rearm=*/false);
 }
 
 void TokenBucketShaper::release_ready() {
@@ -51,17 +52,15 @@ void TokenBucketShaper::release_ready() {
   while (!queue_.empty() &&
          tokens_bytes_ + 1e-9 >=
              static_cast<double>(queue_.front().size_bytes)) {
-    Packet packet = std::move(queue_.front());
-    queue_.pop_front();
+    Packet packet = queue_.pop_front();
     tokens_bytes_ -= static_cast<double>(packet.size_bytes);
     ++forwarded_;
     net_.send(std::move(packet));
   }
-  if (!queue_.empty()) schedule_release();
+  if (!queue_.empty()) schedule_release(/*rearm=*/true);
 }
 
-void TokenBucketShaper::schedule_release() {
-  pending_.cancel();
+void TokenBucketShaper::schedule_release(bool rearm) {
   const double deficit_bytes =
       static_cast<double>(queue_.front().size_bytes) - tokens_bytes_;
   // Round the wait up and floor it at 1 us so progress is guaranteed even
@@ -70,7 +69,14 @@ void TokenBucketShaper::schedule_release() {
       Duration::micros(1.0),
       Duration::seconds(std::max(0.0, deficit_bytes) * 8.0 /
                         config_.rate_bps));
-  pending_ = sim_.schedule_in(wait, [this] { release_ready(); });
+  if (rearm) {
+    // release_ready() is dispatching right now; re-arm it in place
+    // (pending_ keeps referring to the live slot).
+    sim_.rearm_in(wait);
+  } else {
+    pending_.cancel();
+    pending_ = sim_.schedule_in(wait, [this] { release_ready(); });
+  }
 }
 
 }  // namespace bolot::sim

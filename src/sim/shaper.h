@@ -11,11 +11,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 
 #include "sim/network.h"
 #include "sim/packet.h"
 #include "sim/simulator.h"
+#include "util/ring_buffer.h"
 
 namespace bolot::sim {
 
@@ -41,14 +41,17 @@ class TokenBucketShaper {
  private:
   void refill_to_now();
   void release_ready();
-  void schedule_release();
+  /// `rearm` is true only when called from release_ready's own event.
+  void schedule_release(bool rearm);
 
   Simulator& sim_;
   Network& net_;
   ShaperConfig config_;
   double tokens_bytes_;
   SimTime last_refill_;
-  std::deque<Packet> queue_;
+  /// Held packets; full capacity (queue_packets) is reserved at
+  /// construction, so offer() never allocates.
+  util::RingBuffer<Packet> queue_;
   EventHandle pending_;
   std::uint64_t forwarded_ = 0;
   std::uint64_t dropped_ = 0;

@@ -4,9 +4,8 @@ namespace bolot::sim {
 
 void Simulator::run_until(SimTime end) {
   while (!queue_.empty() && queue_.next_time() <= end) {
-    auto event = queue_.pop();
-    now_ = event.at;  // advance before dispatch so callbacks see their time
-    event.fn();
+    // Advance the clock before dispatch so callbacks see their own time.
+    queue_.dispatch_top([this](SimTime at) { now_ = at; });
     ++dispatched_;
   }
   if (now_ < end) now_ = end;
@@ -14,9 +13,7 @@ void Simulator::run_until(SimTime end) {
 
 void Simulator::run_to_completion() {
   while (!queue_.empty()) {
-    auto event = queue_.pop();
-    now_ = event.at;
-    event.fn();
+    queue_.dispatch_top([this](SimTime at) { now_ = at; });
     ++dispatched_;
   }
 }

@@ -33,6 +33,24 @@ class Simulator {
     return queue_.schedule(at, std::forward<F>(fn));
   }
 
+  /// From within an event callback only: re-arms the currently dispatching
+  /// event `delay` from now, reusing its slot and closure (see
+  /// EventQueue::reschedule_current).  Dispatch order is identical to
+  /// calling schedule_in with the same closure at the same point; only the
+  /// slab traffic differs.  At most once per callback.
+  void rearm_in(Duration delay) {
+    if (delay.is_negative()) {
+      throw std::invalid_argument("Simulator: negative delay");
+    }
+    queue_.reschedule_current(now_ + delay);
+  }
+
+  /// Absolute-time variant of rearm_in (at >= now()).
+  void rearm_at(SimTime at) {
+    if (at < now_) throw std::invalid_argument("Simulator: time in the past");
+    queue_.reschedule_current(at);
+  }
+
   /// Runs events until the queue empties or the next event would fire after
   /// `end`; the clock is left at min(end, last event time).
   void run_until(SimTime end);

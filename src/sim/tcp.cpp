@@ -16,10 +16,10 @@ TcpSink::TcpSink(Simulator& sim, Network& net, NodeId node)
 }
 
 void TcpSink::on_packet(Packet&& p) {
-  if (!p.tcp || p.tcp->is_ack) return;  // not a data segment
+  if (!p.has_tcp() || p.tcp().is_ack) return;  // not a data segment
   ++received_;
   FlowState& flow = flows_[p.flow];
-  const std::uint64_t seq = p.tcp->seq;
+  const std::uint64_t seq = p.tcp().seq;
   if (seq == flow.next_expected) {
     ++flow.next_expected;
     // Drain any buffered in-order continuation.
@@ -38,7 +38,7 @@ void TcpSink::on_packet(Packet&& p) {
   ack.src = node_;
   ack.dst = p.src;
   ack.created = sim_.now();
-  ack.tcp = TcpSegmentInfo{flow.next_expected, /*is_ack=*/true};
+  ack.set_tcp({flow.next_expected, /*is_ack=*/true});
   ++acks_sent_;
   net_.send(std::move(ack));
 }
@@ -118,7 +118,7 @@ void TcpSource::send_segment(std::uint64_t seq, bool is_retransmission) {
   segment.src = src_;
   segment.dst = dst_;
   segment.created = sim_.now();
-  segment.tcp = TcpSegmentInfo{seq, /*is_ack=*/false};
+  segment.set_tcp({seq, /*is_ack=*/false});
   ++stats_.segments_sent;
   if (is_retransmission) ++stats_.retransmissions;
 
@@ -137,8 +137,8 @@ void TcpSource::arm_timer() {
 }
 
 void TcpSource::on_packet(Packet&& p) {
-  if (!p.tcp || !p.tcp->is_ack || p.flow != flow_) return;
-  const std::uint64_t ack = p.tcp->seq;
+  if (!p.has_tcp() || !p.tcp().is_ack || p.flow != flow_) return;
+  const std::uint64_t ack = p.tcp().seq;
   on_ack(ack);
   if (ack_hook_) ack_hook_(sim_.now(), ack);
 }

@@ -19,10 +19,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <optional>
 #include <set>
+
+#include "util/inplace_function.h"
 
 #include "sim/network.h"
 #include "sim/packet.h"
@@ -100,8 +101,9 @@ class TcpSource {
   /// with the arrival time and the cumulative ack value.  Used by the
   /// ack-compression bench to study ack spacing (Zhang/Shenker/Clark's
   /// two-way-traffic phenomenon, which the paper cites as the sibling of
-  /// probe compression).
-  using AckHook = std::function<void(SimTime at, std::uint64_t ack)>;
+  /// probe compression).  Inline storage, same bound as the link hooks.
+  using AckHook = util::InplaceFunction<void(SimTime at, std::uint64_t ack),
+                                        Link::kHookCapacity>;
   void set_ack_hook(AckHook hook) { ack_hook_ = std::move(hook); }
 
   const TcpStats& stats() const { return stats_; }

@@ -46,7 +46,10 @@ void TrafficSource::emit(std::int64_t bytes) {
 
 void TrafficSource::schedule_step(Duration delay) {
   if (!running_) return;
-  pending_ = sim_.schedule_in(delay, [this] { step(); });
+  // step() only ever runs from its own scheduled event, so the next step
+  // can re-arm that event in place; pending_ keeps referring to the live
+  // slot (same generation), so stop() still cancels it.
+  sim_.rearm_in(delay);
 }
 
 CbrSource::CbrSource(Simulator& sim, Network& net, NodeId src, NodeId dst,

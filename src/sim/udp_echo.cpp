@@ -13,11 +13,11 @@ EchoHost::EchoHost(Simulator& sim, Network& net, NodeId node)
 }
 
 void EchoHost::on_packet(Packet&& p) {
-  if (p.kind != PacketKind::kProbe || !p.probe || p.probe->echoed) {
+  if (p.kind != PacketKind::kProbe || !p.has_probe() || p.probe().echoed) {
     return;  // cross traffic terminating here, or a stray echoed probe
   }
-  p.probe->echoed = true;
-  p.probe->echo_ts = sim_.now();
+  p.probe().echoed = true;
+  p.probe().echo_ts = sim_.now();
   std::swap(p.src, p.dst);
   ++echoed_;
   net_.send(std::move(p));
@@ -71,28 +71,29 @@ void UdpEchoSource::send_next() {
   p.src = source_;
   p.dst = echo_;
   p.created = sim_.now();
-  p.probe = ProbePayload{next_seq_, record.send_time, Duration::zero(), false};
+  p.set_probe({next_seq_, record.send_time, Duration::zero(), false});
   ++next_seq_;
   net_.send(std::move(p));
 
   const Duration next_gap = config_.interval_sampler
                                 ? config_.interval_sampler(interval_rng_)
                                 : config_.delta;
-  sim_.schedule_in(next_gap, [this] { send_next(); });
+  // send_next() only runs from its own event; re-arm it in place.
+  sim_.rearm_in(next_gap);
 }
 
 void UdpEchoSource::on_packet(Packet&& p) {
-  if (p.kind != PacketKind::kProbe || !p.probe || !p.probe->echoed) {
+  if (p.kind != PacketKind::kProbe || !p.has_probe() || !p.probe().echoed) {
     return;  // cross traffic sunk at the source node
   }
-  const std::uint64_t seq = p.probe->seq;
+  const std::uint64_t seq = p.probe().seq;
   if (seq >= trace_.records.size()) {
     throw std::logic_error("UdpEchoSource: echo for a probe never sent");
   }
   auto& record = trace_.records[seq];
   record.received = true;
   record.rtt = stamp() - record.send_time;
-  record.echo_time = p.probe->echo_ts;
+  record.echo_time = p.probe().echo_ts;
   ++received_;
 }
 

@@ -234,6 +234,116 @@ TEST(EventQueueTest, EagerCancelPreservesDispatchOrderUnderChurn) {
   EXPECT_EQ(order.size(), expected);
 }
 
+TEST(EventQueueTest, DispatchTopRunsInTimeOrderAndReportsTime) {
+  EventQueue queue;
+  std::vector<int> order;
+  std::vector<SimTime> times;
+  queue.schedule(Duration::millis(2), [&order] { order.push_back(2); });
+  queue.schedule(Duration::millis(1), [&order] { order.push_back(1); });
+  while (!queue.empty()) {
+    queue.dispatch_top([&times](SimTime at) { times.push_back(at); });
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(times,
+            (std::vector<SimTime>{Duration::millis(1), Duration::millis(2)}));
+}
+
+TEST(EventQueueTest, RearmReusesSlotWithoutSlabGrowth) {
+  // The self-re-arming pattern (link transmitter, periodic source) must
+  // keep the closure in its slot: one slot total, never released.
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule(Duration::millis(1), [&] {
+    if (++fired < 1000) {
+      queue.reschedule_current(Duration::millis(fired + 1));
+    }
+  });
+  while (!queue.empty()) queue.dispatch_top([](SimTime) {});
+  EXPECT_EQ(fired, 1000);
+  EXPECT_EQ(queue.slab_capacity(), 1u);
+}
+
+TEST(EventQueueTest, RearmOutsideDispatchThrows) {
+  EventQueue queue;
+  EXPECT_THROW(queue.reschedule_current(Duration::millis(1)),
+               std::logic_error);
+}
+
+TEST(EventQueueTest, SecondRearmInOneDispatchThrows) {
+  EventQueue queue;
+  bool threw = false;
+  queue.schedule(Duration::millis(1), [&] {
+    queue.reschedule_current(Duration::millis(2));
+    try {
+      queue.reschedule_current(Duration::millis(3));
+    } catch (const std::logic_error&) {
+      threw = true;
+    }
+  });
+  queue.dispatch_top([](SimTime) {});
+  EXPECT_TRUE(threw);
+  ASSERT_FALSE(queue.empty());
+  EXPECT_EQ(queue.next_time(), Duration::millis(2));
+  queue.dispatch_top([](SimTime) {});
+}
+
+TEST(EventQueueTest, HandleCancelsRearmedIncarnation) {
+  // A rearm keeps the slot and generation, so the handle from the
+  // original schedule() must still control the re-armed event.
+  EventQueue queue;
+  int fired = 0;
+  EventHandle handle = queue.schedule(Duration::millis(1), [&] {
+    ++fired;
+    queue.reschedule_current(Duration::millis(2));
+  });
+  queue.dispatch_top([](SimTime) {});
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(queue.empty());
+  handle.cancel();
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueueTest, SelfCancelDuringDispatchTopLeavesQueueIntact) {
+  // Regression: the dispatching slot is out of the heap but not yet
+  // released, so its stale heap position must not let a self-cancel (the
+  // TCP pattern: on_timeout -> arm_timer -> timer_.cancel()) evict some
+  // other event's heap entry and double-release the slot.
+  EventQueue queue;
+  std::vector<int> order;
+  EventHandle timer;
+  queue.schedule(Duration::millis(5), [&order] { order.push_back(2); });
+  timer = queue.schedule(Duration::millis(1), [&] {
+    order.push_back(1);
+    timer.cancel();  // must be a no-op on the event's own dispatch
+    timer = queue.schedule(Duration::millis(9), [&order] {
+      order.push_back(3);
+    });
+  });
+  while (!queue.empty()) queue.dispatch_top([](SimTime) {});
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, RearmSequencesAtTheCallPoint) {
+  // A rearm takes its tie-break sequence number where it is called, so at
+  // equal timestamps it interleaves with fresh schedules exactly as a
+  // schedule() at the same point would.
+  EventQueue queue;
+  std::vector<int> order;
+  bool first = true;
+  queue.schedule(Duration::millis(1), [&] {
+    if (!first) {
+      order.push_back(1);
+      return;
+    }
+    first = false;
+    queue.schedule(Duration::millis(2), [&order] { order.push_back(2); });
+    queue.reschedule_current(Duration::millis(2));  // after 2's schedule
+    queue.schedule(Duration::millis(2), [&order] { order.push_back(3); });
+  });
+  while (!queue.empty()) queue.dispatch_top([](SimTime) {});
+  EXPECT_EQ(order, (std::vector<int>{2, 1, 3}));
+}
+
 TEST(EventQueueTest, PopMovesMoveOnlyCallback) {
   EventQueue queue;
   auto payload = std::make_unique<int>(42);

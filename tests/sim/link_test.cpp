@@ -196,6 +196,73 @@ TEST(LinkTest, PauseMidServiceLetsCurrentPacketFinish) {
   EXPECT_EQ(arrivals.size(), 2u);
 }
 
+TEST(LinkTest, DeliveryHookFiresWithoutSink) {
+  // An observer-only link (delivery hook, no sink) must still run the
+  // propagation stage and report deliveries.
+  Simulator simulator;
+  Link link(simulator, basic_config(), Rng(1));
+  std::vector<Duration> deliveries;
+  link.add_delivery_hook(
+      [&deliveries](const Packet&, SimTime at) { deliveries.push_back(at); });
+
+  link.enqueue(make_packet(72));  // service 4.5 ms + 10 ms propagation
+  simulator.run_to_completion();
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(deliveries[0], Duration::millis(14.5));
+  EXPECT_EQ(link.stats().delivered, 1u);
+}
+
+TEST(LinkTest, DeliveryAndDropHooksChainInAttachOrder) {
+  Simulator simulator;
+  LinkConfig config = basic_config();
+  config.buffer_packets = 1;
+  Link link(simulator, config, Rng(1));
+  link.set_sink([](Packet&&) {});
+  std::vector<int> fired;
+  link.add_delivery_hook([&fired](const Packet&, SimTime) { fired.push_back(1); });
+  link.add_delivery_hook([&fired](const Packet&, SimTime) { fired.push_back(2); });
+  link.add_drop_hook([&fired](const Packet&, DropCause) { fired.push_back(3); });
+  link.add_drop_hook([&fired](const Packet&, DropCause) { fired.push_back(4); });
+
+  link.enqueue(make_packet(72));
+  link.enqueue(make_packet(72));  // buffer holds 1: tail drop
+  simulator.run_to_completion();
+  EXPECT_EQ(fired, (std::vector<int>{3, 4, 1, 2}));
+
+  // set_* replaces the whole chain.
+  link.set_delivery_hook([&fired](const Packet&, SimTime) { fired.push_back(5); });
+  fired.clear();
+  link.enqueue(make_packet(72));
+  simulator.run_to_completion();
+  EXPECT_EQ(fired, (std::vector<int>{5}));
+}
+
+TEST(LinkTest, PausedLinkStillDeliversInFlightPackets) {
+  // pause() freezes the transmitter, not the wire: a packet already past
+  // the transmitter keeps propagating and arrives on time.
+  Simulator simulator;
+  LinkConfig config = basic_config();
+  config.propagation = Duration::millis(100);
+  Link link(simulator, config, Rng(1));
+  std::vector<Duration> arrivals;
+  link.set_sink([&](Packet&&) { arrivals.push_back(simulator.now()); });
+
+  link.enqueue(make_packet(72));  // service ends 4.5 ms; arrives 104.5 ms
+  simulator.schedule_in(Duration::millis(10), [&link] { link.pause(); });
+  simulator.schedule_in(Duration::millis(20),
+                        [&link] { link.enqueue(make_packet(72)); });
+  simulator.run_until(Duration::millis(200));
+  ASSERT_EQ(arrivals.size(), 1u);
+  EXPECT_EQ(arrivals[0], Duration::millis(104.5));
+  EXPECT_TRUE(link.paused());
+  EXPECT_EQ(link.queue_length(), 1u);  // second packet held at the pause
+
+  simulator.schedule_in(Duration::zero(), [&link] { link.resume(); });
+  simulator.run_to_completion();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[1], Duration::millis(304.5));  // 200 + 4.5 + 100
+}
+
 TEST(LinkTest, ResumeWithoutPauseIsNoOp) {
   Simulator simulator;
   Link link(simulator, basic_config(), Rng(1));

@@ -4,6 +4,7 @@
 
 #include <sstream>
 
+#include "sim/monitor.h"
 #include "sim/network.h"
 
 namespace bolot::sim {
@@ -116,6 +117,32 @@ TEST_F(LogFixture, CsvDump) {
   EXPECT_NE(csv.find("at_ns,event,cause,link,packet_id,flow,kind,bytes"),
             std::string::npos);
   EXPECT_NE(csv.find("delivered,-,a->b,42,7,bulk,512"), std::string::npos);
+}
+
+TEST_F(LogFixture, ComposesWithDropMonitorLogFirst) {
+  // Hook chaining: both observers on one link, in either attach order,
+  // each see every drop.  Buffer 2, four sends at t = 0: two overflow.
+  PacketLog log;
+  DropMonitor drops;
+  log.attach(simulator, net.link(a, b));
+  drops.attach(net.link(a, b));
+  for (std::uint64_t i = 0; i < 4; ++i) send(1, i);
+  simulator.run_to_completion();
+  EXPECT_EQ(drops.drops_for(1).overflow, 2u);
+  EXPECT_EQ(log.drops_between(Duration::zero(), Duration::seconds(1)).size(),
+            2u);
+}
+
+TEST_F(LogFixture, ComposesWithDropMonitorLogSecond) {
+  PacketLog log;
+  DropMonitor drops;
+  drops.attach(net.link(a, b));
+  log.attach(simulator, net.link(a, b));
+  for (std::uint64_t i = 0; i < 4; ++i) send(1, i);
+  simulator.run_to_completion();
+  EXPECT_EQ(drops.drops_for(1).overflow, 2u);
+  EXPECT_EQ(log.drops_between(Duration::zero(), Duration::seconds(1)).size(),
+            2u);
 }
 
 TEST_F(LogFixture, RejectsZeroCapacity) {

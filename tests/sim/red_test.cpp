@@ -174,6 +174,44 @@ TEST(RedTest, IdleDecayIsCumulativeAcrossProbes) {
               avg_after_gap * per_gap_decay, avg_after_gap * 0.05);
 }
 
+TEST(RedTest, PausedSpansDoNotCountAsIdleTime) {
+  // The idle-time correction models what the transmitter *could have
+  // drained*; a paused link could drain nothing, so a paused-but-empty
+  // span must not decay the average.  Build an average, drain, then sit
+  // idle with a pause in the middle: the decay exponent must cover
+  // exactly the unpaused idle time, to the slot.
+  Simulator simulator;
+  LinkConfig config = red_config();
+  config.red->weight = 0.1;
+  Link link(simulator, config, Rng(1));
+  link.set_sink([](Packet&&) {});
+
+  for (int i = 0; i < 12; ++i) link.enqueue(make_packet());
+  simulator.run_to_completion();  // drained at 12 * 32 ms = 384 ms
+  ASSERT_EQ(link.queue_length(), 0u);
+  const double avg_after_burst = link.red_average_queue();
+  ASSERT_GT(avg_after_burst, 0.0);
+  // The queue goes serviceable-idle when the last *service* completes
+  // (12 x 32 ms); now() after run_to_completion is one propagation later.
+  const Duration drained_at = Duration::millis(12 * 32.0);
+
+  simulator.schedule_at(Duration::seconds(1), [&link] { link.pause(); });
+  simulator.schedule_at(Duration::seconds(2), [&link] { link.resume(); });
+  simulator.schedule_at(Duration::seconds(3),
+                        [&link] { link.enqueue(make_packet()); });
+  simulator.run_to_completion();
+
+  // Serviceable idle: [drain, pause) + [resume, probe) — the paused
+  // second is excluded.
+  const Duration idle =
+      (Duration::seconds(1) - drained_at) + Duration::seconds(1);
+  const double slots =
+      idle / link.service_time(config.red->mean_packet_bytes);
+  const double expected =
+      avg_after_burst * std::pow(1.0 - config.red->weight, slots);
+  EXPECT_NEAR(link.red_average_queue(), expected, expected * 1e-9);
+}
+
 TEST(RedTest, RejectsMalformedConfig) {
   Simulator simulator;
   LinkConfig config = red_config();

@@ -133,12 +133,12 @@ TEST_F(TcpFixture, SinkReassemblesOutOfOrderArrivals) {
     p.size_bytes = 512;
     p.src = src;
     p.dst = dst;
-    p.tcp = TcpSegmentInfo{seq, false};
+    p.set_tcp({seq, false});
     net.send(std::move(p));
   };
   std::vector<std::uint64_t> acks;
   net.set_receiver(src, [&](Packet&& p) {
-    if (p.tcp && p.tcp->is_ack) acks.push_back(p.tcp->seq);
+    if (p.has_tcp() && p.tcp().is_ack) acks.push_back(p.tcp().seq);
   });
   send_data(0);
   send_data(2);

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Print the per-metric delta between two BENCH_*.json artifacts.
+
+Usage: bench_diff.py OLD.json NEW.json
+
+Both files use the sweep-runner schema (see src/runner/sweep_io.h): a
+top-level "runs" list whose entries carry a "label" and a "metrics"
+mapping.  Runs are matched by label; metrics present in only one file
+are reported as added/removed.  Trend reporting only — this script never
+fails the build (exit 0 unless the inputs are unreadable), so perf noise
+on shared CI runners cannot block a merge.
+"""
+
+import json
+import sys
+
+
+def load_runs(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {run["label"]: run.get("metrics", {}) for run in doc.get("runs", [])}
+
+
+def fmt(value):
+    if value == int(value) and abs(value) >= 1000:
+        return f"{value:,.0f}"
+    return f"{value:.6g}"
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    try:
+        old, new = load_runs(argv[1]), load_runs(argv[2])
+    except (OSError, ValueError, KeyError) as err:
+        print(f"bench_diff: cannot read inputs: {err}", file=sys.stderr)
+        return 2
+
+    width = max((len(f"{label}.{m}") for label, ms in new.items() for m in ms),
+                default=10)
+    for label, metrics in new.items():
+        base = old.get(label)
+        if base is None:
+            print(f"{label}: new benchmark (no baseline)")
+            continue
+        for name, value in metrics.items():
+            key = f"{label}.{name}"
+            if name not in base:
+                print(f"{key:<{width}}  {fmt(value):>14}  (new metric)")
+                continue
+            before = base[name]
+            if before == 0:
+                delta = "n/a"
+            else:
+                delta = f"{100.0 * (value - before) / before:+.1f}%"
+            print(f"{key:<{width}}  {fmt(before):>14} -> {fmt(value):>14}  {delta}")
+    for label in old:
+        if label not in new:
+            print(f"{label}: removed (present only in baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
