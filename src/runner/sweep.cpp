@@ -6,6 +6,7 @@
 #include "analysis/loss.h"
 #include "analysis/stats.h"
 #include "runner/thread_pool.h"
+#include "util/audit.h"
 #include "util/rng.h"
 
 namespace bolot::runner {
@@ -59,10 +60,16 @@ SweepResult run_sweep(const std::vector<RunSpec>& specs, const SweepJob& job,
 
   ThreadPool pool(options.threads);
   sweep.threads = pool.thread_count();
+  // Result-slot write-once discipline: slot i is written by exactly one
+  // job, exactly once.  Each counter has a single writer (its own job),
+  // so the increment needs no synchronization; the final SIM_CHECK runs
+  // after the pool's completion barrier has published every write.
+  std::vector<std::uint8_t> slot_writes(specs.size(), 0);
   for (std::size_t i = 0; i < specs.size(); ++i) {
     // Each task owns result slot i exclusively, so no synchronization
     // beyond the pool's completion barrier is needed.
     pool.submit([&, i] {
+      ++slot_writes[i];
       RunResult& run = sweep.runs[i];
       run.index = i;
       run.label = specs[i].label;
@@ -83,6 +90,14 @@ SweepResult run_sweep(const std::vector<RunSpec>& specs, const SweepJob& job,
     });
   }
   pool.wait_idle();
+  for (std::size_t i = 0; i < slot_writes.size(); ++i) {
+    SIM_CHECK(slot_writes[i] == 1,
+              "run_sweep(%s): result slot %zu written %u times (seed "
+              "stream %llu) — runs are no longer independent",
+              options.name.c_str(), i, slot_writes[i],
+              static_cast<unsigned long long>(
+                  derive_stream_seed(options.base_seed, i)));
+  }
 
   sweep.wall_seconds = elapsed_seconds(sweep_start);
   return sweep;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/audit.h"
+
 namespace bolot::runner {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -27,6 +29,10 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> job) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    SIM_CHECK(!stopping_,
+              "ThreadPool: submit() after shutdown began (%zu workers, "
+              "%zu jobs still queued)",
+              workers_.size(), queue_.size());
     queue_.push_back(std::move(job));
     ++in_flight_;
   }
@@ -36,6 +42,11 @@ void ThreadPool::submit(std::function<void()> job) {
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -48,9 +59,18 @@ void ThreadPool::worker_loop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
-    job();
+    // A throwing job must not unwind through the worker (std::terminate);
+    // record the first failure for wait_idle() to surface and keep
+    // serving the queue so sibling jobs still complete.
+    std::exception_ptr error;
+    try {
+      job();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_error_) first_error_ = std::move(error);
       --in_flight_;
       if (in_flight_ == 0) all_done_.notify_all();
     }

@@ -11,6 +11,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -30,10 +31,14 @@ class ThreadPool {
 
   std::size_t thread_count() const { return workers_.size(); }
 
-  /// Enqueues a job.  Must not be called after the destructor has begun.
+  /// Enqueues a job.  Calling this after the destructor has begun is a
+  /// checked error (SIM_CHECK), not silent undefined behavior.
   void submit(std::function<void()> job);
 
-  /// Blocks until every submitted job has finished running.
+  /// Blocks until every submitted job has finished running.  If any job
+  /// exited by exception since the last wait_idle(), rethrows the first
+  /// such exception (the remaining jobs still ran to completion — a
+  /// throwing job never takes down its worker thread or the process).
   void wait_idle();
 
  private:
@@ -45,6 +50,10 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::size_t in_flight_ = 0;  // queued + currently running jobs
   bool stopping_ = false;
+  /// First exception thrown by a job since the last wait_idle(); guarded
+  /// by mutex_.  Before this existed, a throwing job unwound through
+  /// worker_loop and took the whole process down via std::terminate.
+  std::exception_ptr first_error_;
   std::vector<std::thread> workers_;
 };
 

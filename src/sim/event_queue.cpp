@@ -65,11 +65,106 @@ void EventQueue::cancel(std::uint32_t slot_index, std::uint64_t gen) {
   Slot& slot = slot_at(slot_index);
   const std::uint32_t pos = heap_pos_[slot_index];
   if (slot.gen != gen || pos == kNone) return;  // already fired/cancelled
+  SIM_AUDIT(pos < heap_.size() && heap_[pos].slot == slot_index,
+            "EventQueue: cancel of slot %u found stale heap position %u "
+            "(heap size %zu)",
+            slot_index, pos, heap_.size());
   remove_heap_at(pos);
   release_slot(slot_index);
 }
 
 void EventQueue::grow_slab() { chunks_.emplace_back(acquire_chunk()); }
+
+void EventQueue::audit_verify() const {
+  // 0 = untracked, 1 = queued, 2 = free, 3 = dispatching.  The scratch
+  // buffer is a reused member: the audit build runs this every
+  // kAuditStride events, and a fresh vector here would break the
+  // allocation-free steady state that event_alloc_test pins even in
+  // audit builds.
+  audit_scratch_.assign(slot_count_, 0);
+  std::vector<std::uint8_t>& state = audit_scratch_;
+
+  // Heap property + back-pointer discipline.  Every queued slot must hold
+  // a closure (the dispatching slot is the one exception: its closure is
+  // live but it has been unlinked from the heap for the callback).
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    const HeapEntry& entry = heap_[i];
+    SIM_CHECK(entry.slot < slot_count_,
+              "EventQueue: heap entry %zu names slot %u outside the slab "
+              "(%u slots)",
+              i, entry.slot, slot_count_);
+    SIM_CHECK(state[entry.slot] == 0,
+              "EventQueue: slot %u appears twice in the heap", entry.slot);
+    state[entry.slot] = 1;
+    SIM_CHECK(heap_pos_[entry.slot] == i,
+              "EventQueue: slot %u at heap index %zu has back-pointer %u",
+              entry.slot, i, heap_pos_[entry.slot]);
+    SIM_CHECK(entry.seq < next_seq_,
+              "EventQueue: heap entry %zu carries unissued seq %llu "
+              "(next %llu)",
+              i, static_cast<unsigned long long>(entry.seq),
+              static_cast<unsigned long long>(next_seq_));
+    SIM_CHECK(entry.at >= last_popped_,
+              "EventQueue: heap entry %zu (slot %u) is scheduled at "
+              "%.9f s, before the dispatch clock %.9f s",
+              i, entry.slot, entry.at.seconds(), last_popped_.seconds());
+    if (i > 0) {
+      const HeapEntry& parent = heap_[(i - 1) / 4];
+      SIM_CHECK(!earlier(entry, parent),
+                "EventQueue: heap property violated at index %zu (slot %u, "
+                "t=%.9f s seq=%llu sorts before its parent)",
+                i, entry.slot, entry.at.seconds(),
+                static_cast<unsigned long long>(entry.seq));
+    }
+    SIM_CHECK(static_cast<bool>(slot_at(entry.slot).fn) ||
+                  entry.slot == dispatching_,
+              "EventQueue: queued slot %u holds no closure", entry.slot);
+  }
+
+  if (dispatching_ != kNone && state[dispatching_] == 0) {
+    state[dispatching_] = 3;
+    SIM_CHECK(heap_pos_[dispatching_] == kNone,
+              "EventQueue: dispatching slot %u still has heap position %u",
+              dispatching_, heap_pos_[dispatching_]);
+  }
+
+  // Free-list walk: in range, never queued, closure destroyed, no cycle
+  // (a cycle would revisit a slot already marked free).
+  std::size_t free_count = 0;
+  for (std::uint32_t idx = free_head_; idx != kNone;
+       idx = slot_at(idx).next_free) {
+    SIM_CHECK(idx < slot_count_,
+              "EventQueue: free list reaches slot %u outside the slab "
+              "(%u slots)",
+              idx, slot_count_);
+    SIM_CHECK(state[idx] == 0,
+              "EventQueue: slot %u is %s and on the free list", idx,
+              state[idx] == 2 ? "already free (cycle)"
+              : state[idx] == 1 ? "queued"
+                                : "dispatching");
+    state[idx] = 2;
+    ++free_count;
+    SIM_CHECK(heap_pos_[idx] == kNone,
+              "EventQueue: free slot %u retains heap position %u", idx,
+              heap_pos_[idx]);
+    SIM_CHECK(!slot_at(idx).fn,
+              "EventQueue: free slot %u still holds a closure", idx);
+  }
+
+  // Accounting: every slab slot is exactly one of queued / free /
+  // dispatching.  A leak (slot neither queued nor free) or a double-release
+  // shows up here even when the individual operations looked locally sane.
+  SIM_CHECK(heap_.size() + free_count +
+                    (dispatching_ != kNone && state[dispatching_] == 3 ? 1u
+                                                                      : 0u) ==
+                slot_count_,
+            "EventQueue: slot accounting broken — %zu queued + %zu free of "
+            "%u allocated",
+            heap_.size(), free_count, slot_count_);
+  SIM_CHECK(heap_pos_.size() == slot_count_,
+            "EventQueue: heap_pos table has %zu entries for %u slots",
+            heap_pos_.size(), slot_count_);
+}
 
 void EventQueue::throw_past() {
   throw std::logic_error("EventQueue: scheduling into the past");

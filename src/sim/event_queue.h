@@ -36,6 +36,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/audit.h"
 #include "util/inplace_function.h"
 #include "util/time.h"
 
@@ -106,6 +107,13 @@ class EventQueue {
     Slot& slot = slot_at(index);
     slot.fn = std::forward<F>(fn);
     slot.next_free = kNone;
+    SIM_AUDIT(static_cast<bool>(slot.fn),
+              "EventQueue: slot %u holds no closure after construction",
+              index);
+    SIM_AUDIT(heap_pos_[index] == kNone,
+              "EventQueue: slot %u handed out while still queued at heap "
+              "position %u",
+              index, heap_pos_[index]);
     heap_.push_back(HeapEntry{at, next_seq_++, index});
     sift_up(heap_.size() - 1);
     return EventHandle(this, index, slot.gen);
@@ -132,6 +140,9 @@ class EventQueue {
   PoppedEvent pop() {
     if (heap_.empty()) throw_empty("EventQueue: pop on empty");
     const std::uint32_t index = heap_[0].slot;
+    SIM_AUDIT(heap_pos_[index] == 0,
+              "EventQueue: root slot %u disagrees with its heap position %u",
+              index, heap_pos_[index]);
     PoppedEvent popped{heap_[0].at, std::move(slot_at(index).fn)};
     remove_heap_at(0);
     release_slot(index);
@@ -149,6 +160,12 @@ class EventQueue {
     if (heap_.empty()) throw_empty("EventQueue: dispatch on empty");
     const std::uint32_t index = heap_[0].slot;
     const SimTime at = heap_[0].at;
+    SIM_AUDIT(heap_pos_[index] == 0,
+              "EventQueue: root slot %u disagrees with its heap position %u",
+              index, heap_pos_[index]);
+    SIM_AUDIT(at >= last_popped_,
+              "EventQueue: time runs backwards (%.9f s after %.9f s)",
+              at.seconds(), last_popped_.seconds());
     last_popped_ = at;
     // Root removal, specialised: the tail entry can only sink, so the
     // sift_up that remove_heap_at() needs for interior removals is dead
@@ -205,6 +222,14 @@ class EventQueue {
   /// O(scheduled)).
   std::size_t slab_capacity() const { return slot_count_; }
 
+  /// Deep structural walk, always compiled (the callers are audit-gated):
+  /// verifies the 4-ary heap property and heap_pos_ back-pointers, walks
+  /// the slab free list (no cycles, no slot both free and queued), and
+  /// checks the queued + free + dispatching slot accounting.  O(slots);
+  /// the audit build calls it from the Simulator dispatch loop every
+  /// kAuditStride events, tests and the fuzz harness call it directly.
+  void audit_verify() const;
+
  private:
   friend class EventHandle;
 
@@ -233,6 +258,9 @@ class EventQueue {
   };
 
   Slot& slot_at(std::uint32_t index) {
+    return chunks_[index >> kChunkShift][index & kChunkMask];
+  }
+  const Slot& slot_at(std::uint32_t index) const {
     return chunks_[index >> kChunkShift][index & kChunkMask];
   }
 
@@ -327,6 +355,10 @@ class EventQueue {
   std::uint32_t free_head_ = kNone;
   std::uint64_t next_seq_ = 0;
   SimTime last_popped_;
+
+  // Scratch for audit_verify()'s slot-state walk; a member so repeated
+  // audits stay allocation-free once it reaches the slab's size.
+  mutable std::vector<std::uint8_t> audit_scratch_;
 
   // In-place dispatch state (dispatch_top / reschedule_current).
   static constexpr std::uint64_t kNoRearm = UINT64_MAX;

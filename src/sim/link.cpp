@@ -127,6 +127,7 @@ void Link::enqueue(Packet&& packet) {
   queue_.push_back(std::move(packet));
   stats_.max_queue = std::max(stats_.max_queue, queue_.size());
   if (!busy_ && !paused_) start_front_transmission(/*rearm=*/false);
+  audit_conservation();
 }
 
 void Link::pause() {
@@ -184,6 +185,7 @@ void Link::on_transmission_complete() {
     idle_since_ = sim_.now();  // queue just went serviceable-idle
   }
   if (deliver && !arrival_armed_) arm_arrival(/*rearm=*/false);
+  audit_conservation();
 }
 
 void Link::arm_arrival(bool rearm) {
@@ -215,6 +217,72 @@ void Link::on_arrival() {
     delivery_hooks_[i](flight.packet, sim_.now());
   }
   if (sink_) sink_(std::move(flight.packet));
+  if constexpr (util::kAuditChecksEnabled) {
+    // Audited after the sink so a conservation break caused by the sink
+    // re-entering this link (a routing loop) is attributed to the event
+    // that created it.
+    audit_conservation();
+  }
+}
+
+void Link::audit_verify() const {
+  queue_.audit_indices();
+  flight_.audit_indices();
+
+  // Packet conservation over the whole life of the link.
+  SIM_CHECK(stats_.offered ==
+                stats_.delivered + stats_.total_drops() + queue_.size(),
+            "Link %s: conservation broken — offered %llu != delivered %llu "
+            "+ dropped %llu + queued %zu (in flight %zu)",
+            config_.name.c_str(),
+            static_cast<unsigned long long>(stats_.offered),
+            static_cast<unsigned long long>(stats_.delivered),
+            static_cast<unsigned long long>(stats_.total_drops()),
+            queue_.size(), flight_.size());
+
+  // Byte-exact backlog: backlog_bytes_ is maintained incrementally on
+  // enqueue/complete, so drift means a packet was double-counted or its
+  // size mutated in the ring.
+  std::int64_t queued_bytes = 0;
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    queued_bytes += queue_[i].size_bytes;
+  }
+  SIM_CHECK(queued_bytes == backlog_bytes_,
+            "Link %s: backlog accounting drifted — cached %lld B, ring "
+            "holds %lld B over %zu packets",
+            config_.name.c_str(), static_cast<long long>(backlog_bytes_),
+            static_cast<long long>(queued_bytes), queue_.size());
+
+  // Queue discipline: the buffer bound counts the packet in service, a
+  // busy transmitter must be serving something, and an idle transmitter
+  // with waiting packets is only legal while paused.
+  SIM_CHECK(queue_.size() <= config_.buffer_packets,
+            "Link %s: %zu packets queued in a %zu-packet buffer",
+            config_.name.c_str(), queue_.size(), config_.buffer_packets);
+  SIM_CHECK(!busy_ || !queue_.empty(),
+            "Link %s: transmitter busy with an empty queue",
+            config_.name.c_str());
+  SIM_CHECK(busy_ || paused_ || queue_.empty(),
+            "Link %s: transmitter stalled — idle and unpaused with %zu "
+            "packets waiting",
+            config_.name.c_str(), queue_.size());
+
+  // Propagation stage: constant delay means FIFO order, so arrival times
+  // in the flight ring must be non-decreasing, and exactly one arrival
+  // event is armed iff packets are in flight.
+  for (std::size_t i = 1; i < flight_.size(); ++i) {
+    SIM_CHECK(flight_[i - 1].arrive_at <= flight_[i].arrive_at,
+              "Link %s: in-flight order broken — packet %llu arrives at "
+              "%.9f s after its successor's %.9f s",
+              config_.name.c_str(),
+              static_cast<unsigned long long>(flight_[i - 1].packet.id),
+              flight_[i - 1].arrive_at.seconds(),
+              flight_[i].arrive_at.seconds());
+  }
+  SIM_CHECK(arrival_armed_ == !flight_.empty(),
+            "Link %s: arrival event %s with %zu packets in flight",
+            config_.name.c_str(), arrival_armed_ ? "armed" : "not armed",
+            flight_.size());
 }
 
 void Link::drop(Packet&& packet, DropCause cause) {

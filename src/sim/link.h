@@ -154,7 +154,31 @@ class Link {
   /// Current RED average queue estimate (0 when RED is off); for tests.
   double red_average_queue() const { return red_avg_; }
 
+  /// Deep per-link walk, always compiled (callers are tests and the fuzz
+  /// harness; audit builds also run it at every drain): packet
+  /// conservation (offered == delivered + dropped + queued), byte-exact
+  /// backlog accounting, in-flight FIFO ordering, and the transmitter /
+  /// arrival-event arming discipline.
+  void audit_verify() const;
+
  private:
+  /// The conservation identity, checked at the datapath's drain points in
+  /// audit builds: every packet handed to enqueue() is exactly one of
+  /// delivered (past the transmitter), dropped, or still queued.  A
+  /// packet duplicated or lost by the ring/event plumbing breaks this sum
+  /// immediately, which localizes the corruption to the current event.
+  void audit_conservation() const {
+    SIM_AUDIT(
+        stats_.offered ==
+            stats_.delivered + stats_.total_drops() + queue_.size(),
+        "Link %s: conservation broken — offered %llu != delivered %llu + "
+        "dropped %llu + queued %zu (in flight %zu)",
+        config_.name.c_str(),
+        static_cast<unsigned long long>(stats_.offered),
+        static_cast<unsigned long long>(stats_.delivered),
+        static_cast<unsigned long long>(stats_.total_drops()), queue_.size(),
+        flight_.size());
+  }
   struct InFlight {
     SimTime arrive_at;
     Packet packet;

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <type_traits>
 
+#include "util/audit.h"
 #include "util/time.h"
 
 namespace bolot::sim {
@@ -62,13 +63,27 @@ struct Packet {
   bool has_probe() const { return payload_ == Payload::kProbe; }
   bool has_tcp() const { return payload_ == Payload::kTcp; }
 
-  /// Active probe payload.  Requires has_probe().
-  ProbePayload& probe() { return probe_; }
-  const ProbePayload& probe() const { return probe_; }
+  /// Active probe payload.  Requires has_probe(): reading the union
+  /// through the wrong member is exactly the silent-corruption class the
+  /// audit build exists to catch.
+  ProbePayload& probe() {
+    audit_tag(Payload::kProbe);
+    return probe_;
+  }
+  const ProbePayload& probe() const {
+    audit_tag(Payload::kProbe);
+    return probe_;
+  }
 
   /// Active TCP metadata.  Requires has_tcp().
-  TcpSegmentInfo& tcp() { return tcp_; }
-  const TcpSegmentInfo& tcp() const { return tcp_; }
+  TcpSegmentInfo& tcp() {
+    audit_tag(Payload::kTcp);
+    return tcp_;
+  }
+  const TcpSegmentInfo& tcp() const {
+    audit_tag(Payload::kTcp);
+    return tcp_;
+  }
 
   void set_probe(const ProbePayload& probe) {
     payload_ = Payload::kProbe;
@@ -82,6 +97,14 @@ struct Packet {
 
  private:
   enum class Payload : std::uint8_t { kNone, kProbe, kTcp };
+
+  void audit_tag(Payload expected) const {
+    SIM_AUDIT(payload_ == expected,
+              "Packet %llu (flow %u, kind %u): union tag %u read as %u",
+              static_cast<unsigned long long>(id), flow,
+              static_cast<unsigned>(kind), static_cast<unsigned>(payload_),
+              static_cast<unsigned>(expected));
+  }
 
   Payload payload_ = Payload::kNone;
   union {

@@ -4,18 +4,15 @@ namespace bolot::sim {
 
 void Simulator::run_until(SimTime end) {
   while (!queue_.empty() && queue_.next_time() <= end) {
-    // Advance the clock before dispatch so callbacks see their own time.
-    queue_.dispatch_top([this](SimTime at) { now_ = at; });
-    ++dispatched_;
+    // Advance the clock before dispatch so callbacks see their own time
+    // (dispatch_one also maintains the audit context in audit builds).
+    dispatch_one();
   }
   if (now_ < end) now_ = end;
 }
 
 void Simulator::run_to_completion() {
-  while (!queue_.empty()) {
-    queue_.dispatch_top([this](SimTime at) { now_ = at; });
-    ++dispatched_;
-  }
+  while (!queue_.empty()) dispatch_one();
 }
 
 }  // namespace bolot::sim

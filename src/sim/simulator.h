@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "sim/event_queue.h"
+#include "util/audit.h"
 #include "util/time.h"
 
 namespace bolot::sim {
@@ -63,7 +64,32 @@ class Simulator {
   /// Live (scheduled, not yet fired or cancelled) events.
   std::size_t pending_events() const { return queue_.size(); }
 
+  /// Deep-walks the event queue's structural invariants (see
+  /// EventQueue::audit_verify).  Audit builds run this automatically
+  /// every kAuditStride dispatched events; tests call it directly.
+  void audit_verify() const { queue_.audit_verify(); }
+
  private:
+  /// How often the audit build re-walks the whole event structure.
+  /// Power of two; frequent enough to localize a corruption to a small
+  /// event window, rare enough that audit-build test times stay sane.
+  static constexpr std::uint64_t kAuditStride = 1024;
+
+  inline void dispatch_one() {
+    queue_.dispatch_top([this](SimTime at) {
+      now_ = at;
+      if constexpr (util::kAuditChecksEnabled) {
+        // Stamp failure reports with the event being dispatched; the
+        // Release hot path never touches the thread-local.
+        util::audit_set_sim_context(now_.count_nanos(), dispatched_);
+      }
+    });
+    ++dispatched_;
+    if constexpr (util::kAuditChecksEnabled) {
+      if ((dispatched_ & (kAuditStride - 1)) == 0) queue_.audit_verify();
+    }
+  }
+
   EventQueue queue_;
   SimTime now_;
   std::uint64_t dispatched_ = 0;

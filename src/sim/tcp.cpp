@@ -5,7 +5,38 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/audit.h"
+
 namespace bolot::sim {
+
+namespace {
+
+/// Window-state sanity, checked (audit builds) everywhere the sliding
+/// window moves: the paper's closed-loop cross traffic is only faithful
+/// if the ack clock obeys Jacobson's bounds — a cwnd below one segment
+/// deadlocks the flow, one above the receiver window overdrives the
+/// bottleneck, and an una/nxt inversion corrupts go-back-N recovery.
+void audit_window(const char* where, std::uint64_t snd_una,
+                  std::uint64_t snd_nxt, double cwnd, double ssthresh,
+                  const TcpConfig& config) {
+  SIM_AUDIT(snd_una <= snd_nxt,
+            "TcpSource(%s): send window inverted — snd_una %llu > snd_nxt "
+            "%llu",
+            where, static_cast<unsigned long long>(snd_una),
+            static_cast<unsigned long long>(snd_nxt));
+  SIM_AUDIT(cwnd >= 1.0 && cwnd <= config.receiver_window_packets,
+            "TcpSource(%s): cwnd %.3f outside [1, rwnd=%.1f]", where, cwnd,
+            config.receiver_window_packets);
+  SIM_AUDIT(ssthresh >= 2.0 ||
+                ssthresh >= config.initial_ssthresh_packets,
+            "TcpSource(%s): ssthresh %.3f collapsed below 2 packets", where,
+            ssthresh);
+  // Suppress unused-parameter warnings in non-audit builds.
+  (void)where, (void)snd_una, (void)snd_nxt, (void)cwnd, (void)ssthresh,
+      (void)config;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // TcpSink
@@ -100,6 +131,7 @@ void TcpSource::begin_transfer() {
 
 void TcpSource::try_send() {
   if (!running_ || !transfer_active_) return;
+  audit_window("try_send", snd_una_, snd_nxt_, cwnd_, ssthresh_, config_);
   const double window = std::min(cwnd_, config_.receiver_window_packets);
   const auto window_packets = static_cast<std::uint64_t>(window);
   while (snd_nxt_ < transfer_end_ &&
@@ -107,6 +139,11 @@ void TcpSource::try_send() {
     send_segment(snd_nxt_, /*is_retransmission=*/false);
     ++snd_nxt_;
   }
+  SIM_AUDIT(snd_nxt_ - snd_una_ <= std::max<std::uint64_t>(window_packets, 1),
+            "TcpSource(try_send): %llu segments in flight exceed the %llu-"
+            "packet window",
+            static_cast<unsigned long long>(snd_nxt_ - snd_una_),
+            static_cast<unsigned long long>(window_packets));
 }
 
 void TcpSource::send_segment(std::uint64_t seq, bool is_retransmission) {
@@ -196,6 +233,9 @@ void TcpSource::on_ack(std::uint64_t cumulative_ack) {
   }
   cwnd_ = std::min(cwnd_, config_.receiver_window_packets);
   stats_.last_cwnd_packets = cwnd_;
+  audit_window("on_ack", snd_una_, snd_nxt_, cwnd_, ssthresh_, config_);
+  SIM_AUDIT(dupacks_ == 0,
+            "TcpSource(on_ack): dupack counter %u survived new data", dupacks_);
 
   if (snd_una_ == snd_nxt_) {
     timer_.cancel();
@@ -225,6 +265,8 @@ void TcpSource::enter_loss_recovery() {
   send_segment(snd_nxt_, /*is_retransmission=*/true);
   ++snd_nxt_;
   arm_timer();
+  audit_window("loss_recovery", snd_una_, snd_nxt_, cwnd_, ssthresh_,
+               config_);
 }
 
 void TcpSource::on_timeout() {

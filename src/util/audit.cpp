@@ -1,0 +1,84 @@
+#include "util/audit.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace bolot::util {
+
+namespace {
+
+void default_handler(const AuditReport& report) {
+  // Single fprintf so concurrent failures from sweep worker threads do
+  // not interleave mid-line.
+  if (report.sim_context_valid) {
+    std::fprintf(stderr,
+                 "SIM_CHECK failed: %s\n  at %s:%d\n  sim time %.9f s, "
+                 "event seq %llu\n  %s\n",
+                 report.expression, report.file, report.line,
+                 static_cast<double>(report.sim_time_ns) * 1e-9,
+                 static_cast<unsigned long long>(report.event_seq),
+                 report.message);
+  } else {
+    std::fprintf(stderr,
+                 "SIM_CHECK failed: %s\n  at %s:%d\n  (no simulation "
+                 "context on this thread)\n  %s\n",
+                 report.expression, report.file, report.line, report.message);
+  }
+  std::fflush(stderr);
+}
+
+// The handler is global (not thread-local): a fuzz test installing a
+// throwing handler wants sweep worker threads covered too.  Swaps are
+// rare (test setup only); reads are one relaxed load on the cold failure
+// path.
+std::atomic<AuditHandler> g_handler{&default_handler};
+
+struct SimContext {
+  std::int64_t time_ns = 0;
+  std::uint64_t event_seq = 0;
+  bool valid = false;
+};
+
+thread_local SimContext t_sim_context;
+
+}  // namespace
+
+AuditHandler set_audit_handler(AuditHandler handler) {
+  if (handler == nullptr) handler = &default_handler;
+  return g_handler.exchange(handler, std::memory_order_acq_rel);
+}
+
+void audit_set_sim_context(std::int64_t sim_time_ns, std::uint64_t event_seq) {
+  t_sim_context.time_ns = sim_time_ns;
+  t_sim_context.event_seq = event_seq;
+  t_sim_context.valid = true;
+}
+
+void audit_clear_sim_context() { t_sim_context.valid = false; }
+
+void audit_fail(const char* file, int line, const char* expression,
+                const char* fmt, ...) {
+  char message[512];
+  std::va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(message, sizeof(message), fmt, args);
+  va_end(args);
+
+  AuditReport report;
+  report.file = file;
+  report.line = line;
+  report.expression = expression;
+  report.message = message;
+  report.sim_context_valid = t_sim_context.valid;
+  report.sim_time_ns = t_sim_context.time_ns;
+  report.event_seq = t_sim_context.event_seq;
+
+  g_handler.load(std::memory_order_acquire)(report);
+  // A handler that returns (instead of throwing) must not resume a
+  // simulation whose invariants are gone.
+  std::abort();
+}
+
+}  // namespace bolot::util

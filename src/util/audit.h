@@ -1,0 +1,105 @@
+// Machine-checked invariants for the fast kernel.
+//
+// PRs 2-3 rebuilt the event core and packet datapath on hand-rolled
+// unsafe-fast structures (generation-counted slab heap, power-of-two
+// rings, tagged-union Packet).  The paper's conclusions rest on exact
+// queueing behaviour — Lindley's recurrence (eq. 6) and the loss gap
+// statistics — so a silent conservation or ordering bug corrupts every
+// figure.  This header makes the structures' invariants *checked*
+// properties instead of reviewed ones:
+//
+//   SIM_CHECK(cond, fmt, ...)   always compiled; for cold paths and
+//                               cross-thread contracts (result-slot
+//                               write-once, pool shutdown discipline).
+//   SIM_AUDIT(cond, fmt, ...)   compiled out unless the build sets
+//                               -DSIM_AUDIT_CHECKS=ON; for hot-path
+//                               invariants (heap discipline, ring index
+//                               bounds, union tag checks, conservation).
+//
+// Both expand to a formatted failure path: the message is rendered
+// printf-style, prefixed with the current simulation time and event
+// sequence number (tracked by the Simulator dispatch loop in audit
+// builds), and handed to the installed audit handler.  The default
+// handler writes the report to stderr and aborts; tests install a
+// throwing handler to assert that specific corruptions are caught.
+//
+// SIM_AUDIT's condition and format arguments are type-checked in every
+// build (an `if constexpr (false)` discard), so a Release build cannot
+// silently rot an audit expression — but they are never evaluated unless
+// audits are on, so the Release hot path is bit-for-bit unaffected.
+#pragma once
+
+#include <cstdint>
+
+namespace bolot::util {
+
+#if defined(SIM_AUDIT_CHECKS)
+inline constexpr bool kAuditChecksEnabled = true;
+#else
+inline constexpr bool kAuditChecksEnabled = false;
+#endif
+
+/// Everything the failure handler gets to see.  `message` is the
+/// rendered printf-style description of the offending object; it lives
+/// in a buffer owned by audit_fail and is valid only during the handler
+/// call.
+struct AuditReport {
+  const char* file = nullptr;
+  int line = 0;
+  const char* expression = nullptr;  // stringified condition
+  const char* message = nullptr;     // rendered fmt + args
+  /// Simulation context, tracked by Simulator::run_* in audit builds.
+  bool sim_context_valid = false;
+  std::int64_t sim_time_ns = 0;
+  std::uint64_t event_seq = 0;  // events dispatched before the failure
+};
+
+/// Handler invoked on any SIM_CHECK / SIM_AUDIT failure.  May throw (the
+/// test seam); if it returns normally, audit_fail aborts the process so
+/// a failed invariant can never be silently resumed.
+using AuditHandler = void (*)(const AuditReport&);
+
+/// Installs `handler` (nullptr restores the default print-and-abort
+/// handler) and returns the previously installed one.
+AuditHandler set_audit_handler(AuditHandler handler);
+
+/// Updates the thread-local simulation context attached to failure
+/// reports.  Called by the Simulator dispatch loop (audit builds only;
+/// the Release hot path never touches the thread-local).
+void audit_set_sim_context(std::int64_t sim_time_ns, std::uint64_t event_seq);
+
+/// Clears the thread-local simulation context (simulation finished or
+/// this thread never ran one).
+void audit_clear_sim_context();
+
+/// Renders the report and invokes the handler; aborts if the handler
+/// declines to throw.  The format string is printf-style and checked at
+/// compile time.
+[[noreturn]] __attribute__((format(printf, 4, 5))) void audit_fail(
+    const char* file, int line, const char* expression, const char* fmt, ...);
+
+}  // namespace bolot::util
+
+/// Always-on invariant: cold paths, cross-thread contracts, and the
+/// audit_verify() deep walks (which are themselves only called from
+/// audit-gated or test code, so their checks can afford to be
+/// unconditional).
+#define SIM_CHECK(cond, fmt, ...)                                      \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::bolot::util::audit_fail(__FILE__, __LINE__, #cond,             \
+                                fmt __VA_OPT__(, ) __VA_ARGS__);       \
+    }                                                                  \
+  } while (0)
+
+/// Hot-path invariant: compiled out (condition never evaluated, but
+/// still type-checked) unless the build defines SIM_AUDIT_CHECKS.
+#define SIM_AUDIT(cond, fmt, ...)                                      \
+  do {                                                                 \
+    if constexpr (::bolot::util::kAuditChecksEnabled) {                \
+      if (!(cond)) {                                                   \
+        ::bolot::util::audit_fail(__FILE__, __LINE__, #cond,           \
+                                  fmt __VA_OPT__(, ) __VA_ARGS__);     \
+      }                                                                \
+    }                                                                  \
+  } while (0)

@@ -20,6 +20,8 @@
 #include <type_traits>
 #include <utility>
 
+#include "util/audit.h"
+
 namespace bolot::util {
 
 template <typename Signature, std::size_t Capacity = 64>
@@ -82,6 +84,13 @@ class InplaceFunction<R(Args...), Capacity> {
   explicit operator bool() const noexcept { return invoke_ != nullptr; }
 
   R operator()(Args... args) {
+    // invoke_ and manage_ are written together; one without the other
+    // means the wrapper was torn (e.g. a buggy move left a dangling
+    // invoke over destroyed storage).
+    SIM_AUDIT((invoke_ == nullptr) == (manage_ == nullptr),
+              "InplaceFunction<cap=%zu>: invoke/manage pointers desynced "
+              "(invoke %s, manage %s)",
+              Capacity, invoke_ ? "set" : "null", manage_ ? "set" : "null");
     if (invoke_ == nullptr) throw std::bad_function_call();
     return invoke_(storage_, std::forward<Args>(args)...);
   }
@@ -109,6 +118,10 @@ class InplaceFunction<R(Args...), Capacity> {
 
   void move_from(InplaceFunction&& other) noexcept {
     if (other.invoke_ == nullptr) return;
+    SIM_AUDIT(other.manage_ != nullptr,
+              "InplaceFunction<cap=%zu>: moving from a wrapper with a "
+              "callable but no manage function",
+              Capacity);
     other.manage_(storage_, other.storage_);
     invoke_ = other.invoke_;
     manage_ = other.manage_;

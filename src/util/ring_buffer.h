@@ -18,6 +18,8 @@
 #include <memory>
 #include <utility>
 
+#include "util/audit.h"
+
 namespace bolot::util {
 
 template <typename T>
@@ -42,12 +44,26 @@ class RingBuffer {
   std::size_t capacity() const { return data_ ? mask_ + 1 : 0; }
 
   /// Oldest element.  Requires !empty().
-  T& front() { return data_[head_]; }
-  const T& front() const { return data_[head_]; }
+  T& front() {
+    SIM_AUDIT(size_ > 0, "RingBuffer: front() on empty ring (cap=%zu)",
+              capacity());
+    return data_[head_];
+  }
+  const T& front() const {
+    SIM_AUDIT(size_ > 0, "RingBuffer: front() on empty ring (cap=%zu)",
+              capacity());
+    return data_[head_];
+  }
 
   /// i-th element from the front (0 == front()).  Requires i < size().
-  T& operator[](std::size_t i) { return data_[(head_ + i) & mask_]; }
+  T& operator[](std::size_t i) {
+    SIM_AUDIT(i < size_, "RingBuffer: index %zu out of range (size=%zu)", i,
+              size_);
+    return data_[(head_ + i) & mask_];
+  }
   const T& operator[](std::size_t i) const {
+    SIM_AUDIT(i < size_, "RingBuffer: index %zu out of range (size=%zu)", i,
+              size_);
     return data_[(head_ + i) & mask_];
   }
 
@@ -64,12 +80,16 @@ class RingBuffer {
   /// caller move the element exactly once — the reference stays usable
   /// until the next push into this ring.
   void drop_front() {
+    SIM_AUDIT(size_ > 0, "RingBuffer: drop_front() on empty ring (cap=%zu)",
+              capacity());
     head_ = (head_ + 1) & mask_;
     --size_;
   }
 
   /// Removes and returns the oldest element.  Requires !empty().
   T pop_front() {
+    SIM_AUDIT(size_ > 0, "RingBuffer: pop_front() on empty ring (cap=%zu)",
+              capacity());
     T out = std::move(data_[head_]);
     head_ = (head_ + 1) & mask_;
     --size_;
@@ -94,6 +114,20 @@ class RingBuffer {
     data_ = std::move(grown);
     mask_ = cap - 1;
     head_ = 0;
+    audit_indices();
+  }
+
+  /// Deep index-discipline walk, always compiled (callers are tests and
+  /// the audit-gated fuzz harness): the masked window must be coherent
+  /// with the allocation.
+  void audit_indices() const {
+    SIM_CHECK((capacity() & mask_) == 0 && (data_ == nullptr) == (mask_ == 0 && capacity() == 0),
+              "RingBuffer: capacity %zu not a power of two or mask %zu stale",
+              capacity(), mask_);
+    SIM_CHECK(size_ <= capacity(),
+              "RingBuffer: size %zu exceeds capacity %zu", size_, capacity());
+    SIM_CHECK(data_ == nullptr ? head_ == 0 : head_ <= mask_,
+              "RingBuffer: head %zu outside storage (mask=%zu)", head_, mask_);
   }
 
  private:

@@ -1,0 +1,110 @@
+// ThreadPool stress coverage for the TSan CI job: oversubscription,
+// exceptions escaping jobs, concurrent producers racing the workers, and
+// destruction with work still queued.  Every scenario is also a data-race
+// probe — the interesting assertions here are the ones TSan makes.
+#include "runner/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace bolot::runner {
+namespace {
+
+TEST(ThreadPoolStressTest, OversubscribedPoolRunsEveryJobExactlyOnce) {
+  // Far more workers than cores and far more jobs than workers: every
+  // queue/wakeup path gets contended.
+  ThreadPool pool(32);
+  std::atomic<std::uint64_t> sum{0};
+  constexpr std::uint64_t kJobs = 5000;
+  for (std::uint64_t i = 1; i <= kJobs; ++i) {
+    pool.submit([&sum, i] { sum.fetch_add(i, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(sum.load(), kJobs * (kJobs + 1) / 2);
+}
+
+TEST(ThreadPoolStressTest, ThrowingJobSurfacesAtWaitIdleAndSparesSiblings) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 100; ++i) {
+    if (i == 37) {
+      pool.submit([] { throw std::runtime_error("job 37 exploded"); });
+    } else {
+      pool.submit([&completed] { ++completed; });
+    }
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The throwing job must not have taken down its worker or its siblings.
+  EXPECT_EQ(completed.load(), 99);
+
+  // The error is cleared once reported; the pool stays usable.
+  pool.submit([&completed] { ++completed; });
+  EXPECT_NO_THROW(pool.wait_idle());
+  EXPECT_EQ(completed.load(), 100);
+}
+
+TEST(ThreadPoolStressTest, OnlyTheFirstOfManyErrorsIsReported) {
+  ThreadPool pool(8);
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([] { throw std::runtime_error("boom"); });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_NO_THROW(pool.wait_idle());  // reported errors do not recur
+}
+
+TEST(ThreadPoolStressTest, ConcurrentProducersAndWaiters) {
+  ThreadPool pool(8);
+  std::atomic<std::uint64_t> executed{0};
+  constexpr std::size_t kProducers = 6;
+  constexpr std::uint64_t kPerProducer = 500;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &executed] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        pool.submit(
+            [&executed] { executed.fetch_add(1, std::memory_order_relaxed); });
+        if (i % 128 == 0) std::this_thread::yield();
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  pool.wait_idle();
+  EXPECT_EQ(executed.load(), kProducers * kPerProducer);
+}
+
+TEST(ThreadPoolStressTest, ShutdownDrainsQueuedJobs) {
+  // The destructor's contract: jobs already accepted still run.  With a
+  // 1-thread pool and slow jobs, most of the queue is still pending when
+  // the destructor begins.
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 200; ++i) {
+      pool.submit([&executed] { ++executed; });
+    }
+  }
+  EXPECT_EQ(executed.load(), 200);
+}
+
+TEST(ThreadPoolStressTest, WaitIdleFromMultipleThreads) {
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&executed] { ++executed; });
+  }
+  std::vector<std::thread> waiters;
+  for (int w = 0; w < 4; ++w) {
+    waiters.emplace_back([&pool] { pool.wait_idle(); });
+  }
+  for (std::thread& waiter : waiters) waiter.join();
+  EXPECT_EQ(executed.load(), 1000);
+}
+
+}  // namespace
+}  // namespace bolot::runner

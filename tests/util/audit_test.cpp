@@ -1,0 +1,94 @@
+#include "util/audit.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace bolot::util {
+namespace {
+
+[[noreturn]] void throwing_handler(const AuditReport& report) {
+  std::string what = std::string(report.expression) + " | " + report.message;
+  if (report.sim_context_valid) {
+    what += " | t=" + std::to_string(report.sim_time_ns) +
+            " seq=" + std::to_string(report.event_seq);
+  }
+  throw std::runtime_error(what);
+}
+
+class AuditTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = set_audit_handler(&throwing_handler); }
+  void TearDown() override {
+    audit_clear_sim_context();
+    set_audit_handler(previous_);
+  }
+
+ private:
+  AuditHandler previous_ = nullptr;
+};
+
+TEST_F(AuditTest, PassingCheckIsSilent) {
+  SIM_CHECK(1 + 1 == 2, "arithmetic broke: %d", 2);
+  SIM_AUDIT(1 + 1 == 2, "arithmetic broke: %d", 2);
+}
+
+TEST_F(AuditTest, FailingCheckFormatsExpressionAndMessage) {
+  try {
+    SIM_CHECK(false, "object id=%d name=%s", 17, "bottleneck");
+    FAIL() << "SIM_CHECK did not fail";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("false"), std::string::npos);
+    EXPECT_NE(what.find("object id=17 name=bottleneck"), std::string::npos);
+  }
+}
+
+TEST_F(AuditTest, SimContextIsAttachedWhenTracked) {
+  audit_set_sim_context(1'500'000'000, 42);
+  try {
+    SIM_CHECK(false, "with context");
+    FAIL() << "SIM_CHECK did not fail";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("t=1500000000"), std::string::npos);
+    EXPECT_NE(what.find("seq=42"), std::string::npos);
+  }
+  audit_clear_sim_context();
+  try {
+    SIM_CHECK(false, "without context");
+    FAIL() << "SIM_CHECK did not fail";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()).find("seq="), std::string::npos);
+  }
+}
+
+TEST_F(AuditTest, AuditObeysTheBuildSwitch) {
+  // SIM_AUDIT must be free in non-audit builds: the condition is never
+  // evaluated.  In audit builds it behaves exactly like SIM_CHECK.
+  bool evaluated = false;
+  auto observe = [&evaluated] {
+    evaluated = true;
+    return true;
+  };
+  SIM_AUDIT(observe(), "never fails");
+  EXPECT_EQ(evaluated, kAuditChecksEnabled);
+  if constexpr (kAuditChecksEnabled) {
+    EXPECT_THROW(SIM_AUDIT(false, "audit build catches this"),
+                 std::runtime_error);
+  } else {
+    SIM_AUDIT(false, "compiled out");  // must be a no-op
+  }
+}
+
+TEST_F(AuditTest, HandlerSwapReturnsPrevious) {
+  AuditHandler mine = set_audit_handler(nullptr);  // restore default
+  EXPECT_EQ(mine, &throwing_handler);
+  AuditHandler default_handler = set_audit_handler(mine);
+  EXPECT_NE(default_handler, nullptr);
+  EXPECT_NE(default_handler, mine);
+}
+
+}  // namespace
+}  // namespace bolot::util

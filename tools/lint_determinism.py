@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Determinism lint: ban nondeterminism hazards from the simulator tree.
+
+The repo's core contract is that a simulation is a pure function of its
+seed (ROADMAP "determinism", audit_fuzz_test's same-seed digest check).
+That property is easy to lose one innocent line at a time: a `rand()`
+sneaks into a traffic model, somebody iterates a `std::unordered_map`
+while emitting trace records, a struct gets ordered by pointer value.
+This lint fails CI the moment such a line lands in `src/`.
+
+Rules
+-----
+  libc-rand            `rand(` / `srand(` — unseeded global PRNG; use
+                       bolot::util::Rng (per-stream, splittable).
+  wall-clock-seed      `time(nullptr)` / `time(NULL)` / `::time(0)` —
+                       wall-clock seeding destroys replayability.
+  random-device        `std::random_device` — hardware entropy in the
+                       sim means no two runs agree.
+  unordered-iteration  range-for over a `std::unordered_map`/`set` in
+                       sim/ or analysis/ — iteration order is
+                       implementation-defined, so any trace or stats
+                       emitted from such a loop can differ across
+                       libstdc++ versions.  (Lookup is fine; only
+                       iteration order is hazardous, but the cheap,
+                       reviewable rule is to keep the containers out of
+                       those directories entirely.)
+  pointer-ordering     ordered containers or sorts keyed on raw pointer
+                       value — allocation addresses differ run to run.
+  build-timestamp      `__DATE__` / `__TIME__` / `__TIMESTAMP__` —
+                       bakes the build time into outputs.
+
+False positives go in tools/lint_determinism_allow.txt as
+`<path> <rule>` lines with a trailing comment justifying each one.  The
+lint fails on *new* findings only; allowlisted ones are reported as
+"allowed" so reviewers still see them.
+
+Usage:  python3 tools/lint_determinism.py [--root DIR]
+Exit 0 when clean, 1 on findings, 2 on usage errors.
+"""
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# (rule, regex, dirs-restriction-or-None, advice)
+RULES = [
+    (
+        "libc-rand",
+        re.compile(r"(?<![\w:])s?rand\s*\("),
+        None,
+        "use bolot::util::Rng with a derived stream seed",
+    ),
+    (
+        "wall-clock-seed",
+        re.compile(r"(?<![\w:])time\s*\(\s*(?:nullptr|NULL|0)\s*\)"),
+        None,
+        "seeds must come from the scenario config, never the wall clock",
+    ),
+    (
+        "random-device",
+        re.compile(r"std::random_device"),
+        None,
+        "hardware entropy is not replayable; derive seeds with "
+        "derive_stream_seed()",
+    ),
+    (
+        "unordered-iteration",
+        re.compile(r"std::unordered_(?:map|set|multimap|multiset)\b"),
+        ("src/sim", "src/analysis"),
+        "iteration order is implementation-defined; use std::map, a "
+        "sorted vector, or index by dense id",
+    ),
+    (
+        "pointer-ordering",
+        re.compile(
+            r"std::(?:map|set)\s*<\s*(?:const\s+)?\w+(?:::\w+)*\s*\*\s*[,>]"
+        ),
+        None,
+        "pointer keys order by allocation address; key on a stable id",
+    ),
+    (
+        "build-timestamp",
+        re.compile(r"__(?:DATE|TIME|TIMESTAMP)__"),
+        None,
+        "build timestamps make otherwise identical runs differ",
+    ),
+]
+
+SOURCE_SUFFIXES = {".h", ".hpp", ".cc", ".cpp"}
+
+
+def load_allowlist(path: Path) -> set[tuple[str, str]]:
+    allowed: set[tuple[str, str]] = set()
+    if not path.exists():
+        return allowed
+    for raw in path.read_text().splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            print(f"lint_determinism: malformed allowlist line: {raw!r}",
+                  file=sys.stderr)
+            sys.exit(2)
+        allowed.add((parts[0], parts[1]))
+    return allowed
+
+
+def in_restricted_dirs(rel: str, dirs: tuple[str, ...] | None) -> bool:
+    if dirs is None:
+        return True
+    return any(rel.startswith(d + "/") for d in dirs)
+
+
+def strip_comments(line: str) -> str:
+    """Drop // comments so documentation may name the hazards."""
+    # Good enough for this tree: no multi-line /* */ spans hazard text.
+    cut = line.find("//")
+    return line if cut < 0 else line[:cut]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: this script's parent's parent)")
+    args = parser.parse_args()
+
+    root = Path(args.root) if args.root else Path(__file__).resolve().parent.parent
+    src = root / "src"
+    if not src.is_dir():
+        print(f"lint_determinism: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    allowed = load_allowlist(root / "tools" / "lint_determinism_allow.txt")
+    used_allow: set[tuple[str, str]] = set()
+    findings: list[str] = []
+    allowed_hits: list[str] = []
+    scanned = 0
+
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in SOURCE_SUFFIXES or not path.is_file():
+            continue
+        rel = path.relative_to(root).as_posix()
+        scanned += 1
+        for lineno, line in enumerate(path.read_text(errors="replace")
+                                      .splitlines(), start=1):
+            code = strip_comments(line)
+            for rule, pattern, dirs, advice in RULES:
+                if not in_restricted_dirs(rel, dirs):
+                    continue
+                if not pattern.search(code):
+                    continue
+                where = f"{rel}:{lineno}: [{rule}] {line.strip()}"
+                if (rel, rule) in allowed:
+                    used_allow.add((rel, rule))
+                    allowed_hits.append(where)
+                else:
+                    findings.append(f"{where}\n    -> {advice}")
+
+    for hit in allowed_hits:
+        print(f"allowed: {hit}")
+    stale = allowed - used_allow
+    for rel, rule in sorted(stale):
+        print(f"stale allowlist entry (no longer matches): {rel} {rule}")
+
+    if findings:
+        print(f"\nlint_determinism: {len(findings)} finding(s) in {scanned} "
+              "files:\n", file=sys.stderr)
+        for finding in findings:
+            print(finding, file=sys.stderr)
+        print("\nEither fix the hazard or add '<path> <rule>' to "
+              "tools/lint_determinism_allow.txt with a justifying comment.",
+              file=sys.stderr)
+        return 1
+
+    print(f"lint_determinism: clean ({scanned} files, "
+          f"{len(allowed_hits)} allowlisted)")
+    # Stale allowlist entries are an error too: they hide future findings.
+    return 1 if stale else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
