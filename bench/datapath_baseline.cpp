@@ -7,6 +7,10 @@
 //                      transmitter.  The headline packets/s number.
 //   chain3_hooked      the same chain with PacketLog + DropMonitor chained
 //                      onto every link, pricing the instrumented datapath.
+//   chain3_metrics     the same chain with every hop publishing obs
+//                      metrics and a 1 ms obs::Sampler recording hop0's
+//                      queue — pricing the observability layer the same
+//                      way chain3_hooked prices the log/monitor hooks.
 //   inria_umd_mixed    the Table-1 INRIA->UMd topology under the paper's
 //                      probe + bulk (FTP) + interactive (Telnet) cross
 //                      traffic, the full 10-minute run at delta = 20 ms —
@@ -34,6 +38,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/sampler.h"
 #include "runner/sweep.h"
 #include "runner/sweep_cli.h"
 #include "runner/sweep_io.h"
@@ -63,8 +69,15 @@ struct DatapathResult {
   double wall_seconds = 0.0;
 };
 
+enum class Chain3Mode {
+  kBare,     // nothing attached: the headline number
+  kHooked,   // PacketLog + DropMonitor chained onto every link
+  kMetrics,  // obs registry + 1 ms sampler: prices the observability layer
+};
+
 /// 3-hop chain at line rate: the bare-metal forwarding number.
-DatapathResult run_chain3(bool instrumented) {
+DatapathResult run_chain3(Chain3Mode mode,
+                          std::vector<runner::Metric>* obs_metrics = nullptr) {
   sim::Simulator simulator;
   sim::Network net(simulator, /*rng_seed=*/7);
   const sim::NodeId n0 = net.add_node("n0");
@@ -85,13 +98,26 @@ DatapathResult run_chain3(bool instrumented) {
 
   sim::PacketLog log(1024);  // deliberately small: steady-state ring reuse
   sim::DropMonitor drops;
-  if (instrumented) {
+  if (mode == Chain3Mode::kHooked) {
     log.attach(simulator, net.link(n0, n1));
     log.attach(simulator, net.link(n1, n2));
     log.attach(simulator, net.link(n2, n3));
     drops.attach(net.link(n0, n1));
     drops.attach(net.link(n1, n2));
     drops.attach(net.link(n2, n3));
+  }
+
+  // Metrics mode: every hop publishes its probe counters/gauges (free on
+  // the packet path) and a 1 ms sampler rides the event queue — 4000
+  // samples over the 4-second run, within budget, no decimation.
+  obs::MetricsRegistry registry;
+  obs::Sampler sampler(simulator, Duration::millis(1), 4096);
+  if (mode == Chain3Mode::kMetrics) {
+    net.link(n0, n1).publish_metrics(registry);
+    net.link(n1, n2).publish_metrics(registry);
+    net.link(n2, n3).publish_metrics(registry);
+    obs::watch_queue_packets(sampler, net.link(n0, n1));
+    obs::watch_utilization(sampler, net.link(n0, n1), simulator);
   }
 
   std::uint64_t received = 0;
@@ -104,17 +130,25 @@ DatapathResult run_chain3(bool instrumented) {
                         Duration::micros(4), /*packet_bytes=*/512);
   net.compute_routes();
   source.start(SimTime());
+  if (mode == Chain3Mode::kMetrics) sampler.start(SimTime());
 
   const Duration sim_span = Duration::seconds(4);
   const auto start = Clock::now();
   simulator.run_until(sim_span);
   source.stop();
+  sampler.stop();  // self-re-arming; must stop before run_to_completion
   simulator.run_to_completion();
   DatapathResult result;
   result.wall_seconds = seconds_since(start);
   result.hop_deliveries = net.total_delivered();
   result.end_to_end = received;
   result.events = simulator.events_dispatched();
+  if (obs_metrics != nullptr) {
+    runner::append_snapshot_metrics(*obs_metrics,
+                                    registry.snapshot(simulator.now()));
+    obs_metrics->push_back(
+        {"obs.samples", static_cast<double>(sampler.size())});
+  }
   return result;
 }
 
@@ -164,6 +198,7 @@ int main(int argc, char** argv) {
   if (cli.out_dir.empty()) cli.out_dir = ".";
 
   const std::vector<std::string> kernels = {"chain3_saturated", "chain3_hooked",
+                                            "chain3_metrics",
                                             "inria_umd_mixed"};
   std::vector<runner::RunSpec> specs;
   for (const std::string& kernel : kernels) {
@@ -182,10 +217,18 @@ int main(int argc, char** argv) {
       [&](const runner::RunContext& ctx) {
         const std::string& kernel = ctx.spec->label;
         if (kernel == "chain3_saturated") {
-          return to_metrics(run_chain3(/*instrumented=*/false));
+          return to_metrics(run_chain3(Chain3Mode::kBare));
         }
         if (kernel == "chain3_hooked") {
-          return to_metrics(run_chain3(/*instrumented=*/true));
+          return to_metrics(run_chain3(Chain3Mode::kHooked));
+        }
+        if (kernel == "chain3_metrics") {
+          std::vector<runner::Metric> obs_metrics;
+          auto metrics = to_metrics(run_chain3(Chain3Mode::kMetrics,
+                                               &obs_metrics));
+          metrics.insert(metrics.end(), obs_metrics.begin(),
+                         obs_metrics.end());
+          return metrics;
         }
         return to_metrics(run_inria_umd_mixed());
       },

@@ -1,23 +1,40 @@
 // Ground truth for the paper's estimator: only a simulator can check
 // eq. (6) against the actual bottleneck queue.
 //
-// We probe a single-bottleneck path while a QueueMonitor samples the true
-// queue, then compare:
+// We probe a single-bottleneck path while an obs::Sampler records the true
+// queue (the same uniformly-spaced series QueueMonitor used to collect,
+// now going through the shared observability layer), then compare:
 //   * the probe-inferred waiting time w-hat_n = rtt_n - D - P/mu against
 //     the monitored backlog at the probe's arrival;
 //   * the eq.-6 workload estimate against the cross traffic actually
 //     offered per interval.
+//
+// With --metrics-out <path>, the bottleneck's metric snapshot and the
+// sampled series are also written as JSON (see obs/metrics_io.h).
 #include <iostream>
+#include <string>
 
 #include "analysis/lindley.h"
 #include "analysis/stats.h"
-#include "sim/monitor.h"
+#include "obs/metrics_io.h"
+#include "obs/sampler.h"
 #include "sim/traffic.h"
 #include "sim/udp_echo.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bolot;
+
+  std::string metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--metrics-out <path>]\n";
+      return 2;
+    }
+  }
 
   sim::Simulator simulator;
   sim::Network net(simulator, 17);
@@ -32,6 +49,7 @@ int main() {
   net.add_duplex_link(src, left, fast);
   net.add_duplex_link(right, echo_node, fast);
   sim::LinkConfig bottleneck_config;
+  bottleneck_config.name = "bottleneck";
   bottleneck_config.rate_bps = 128e3;
   bottleneck_config.propagation = Duration::millis(30);
   bottleneck_config.buffer_packets = 20;
@@ -54,19 +72,28 @@ int main() {
   probe_config.probe_count = 30000;  // 10 minutes
   sim::UdpEchoSource probes(simulator, net, src, echo_node, probe_config);
 
+  // Metrics: the bottleneck publishes its standard counters/gauges so the
+  // end-of-run snapshot lands in --metrics-out.
+  obs::MetricsRegistry registry;
+  bottleneck.publish_metrics(registry);
+
   // Sample the true backlog (as milliseconds of work) at exactly the
   // probe send cadence, phase-locked to arrivals at the bottleneck
-  // (send + access link latency).
-  sim::QueueMonitor monitor(simulator, bottleneck, Duration::millis(20),
-                            sim::QueueMonitor::Mode::kWorkMs);
+  // (send + access link latency).  The run records ~33k samples; the
+  // budget keeps the series on the original grid (no decimation), so the
+  // values match the retired QueueMonitor sample for sample.
+  obs::Sampler sampler(simulator, Duration::millis(20), 65536);
+  const std::size_t backlog_series =
+      obs::watch_backlog_work_ms(sampler, bottleneck);
 
   net.compute_routes();
   cross.start(Duration::zero());
   const Duration start = Duration::seconds(2);
   probes.start(start);
   // A 72-B probe takes 0.0576 ms on the access link + 1 ms propagation.
-  monitor.start(start + Duration::micros(1058));
+  sampler.start(start + Duration::micros(1058));
   simulator.run_until(Duration::minutes(11));
+  sampler.stop();
 
   const auto trace = probes.trace();
   // Probe-inferred waits: w-hat = rtt - D - 2 * P/mu (service on both
@@ -75,7 +102,7 @@ int main() {
   const double fixed_ms = 2.0 * (0.0576 + 1.0) * 2.0 + 2.0 * 30.0;  // ~ D
   const double service_ms = 4.5;
   std::vector<double> inferred, truth;
-  const auto& samples = monitor.samples();
+  const auto& samples = sampler.series(backlog_series).values();
   for (std::size_t n = 0; n < trace.records.size() && n < samples.size();
        ++n) {
     if (!trace.records[n].received) continue;
@@ -108,5 +135,11 @@ int main() {
                "edge-measured rtts\ntrack the interior queue sample for "
                "sample, so eq.-6 inversion reads real\nqueue dynamics, not "
                "an artifact.\n";
+
+  if (!metrics_out.empty()) {
+    obs::write_metrics_json(metrics_out, registry.snapshot(simulator.now()),
+                            sampler.snapshot());
+    std::cout << "\nWrote metrics to " << metrics_out << "\n";
+  }
   return correlation > 0.7 ? 0 : 1;
 }

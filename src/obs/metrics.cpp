@@ -1,0 +1,135 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace bolot::obs {
+
+void Histogram::record(double v) {
+  HistogramCells& c = *cells_;
+  // First edge >= v is the bucket (v <= upper_edges[i]); past-the-end is
+  // the overflow bucket, which counts.back() already is.
+  const auto it =
+      std::lower_bound(c.upper_edges.begin(), c.upper_edges.end(), v);
+  ++c.counts[static_cast<std::size_t>(it - c.upper_edges.begin())];
+  ++c.total;
+  c.sum += v;
+}
+
+const double* MetricsSnapshot::value(std::string_view name) const {
+  for (const SnapshotEntry& entry : entries) {
+    if (entry.name == name) return &entry.value;
+  }
+  return nullptr;
+}
+
+MetricsRegistry::Instrument& MetricsRegistry::intern(std::string_view name,
+                                                     MetricKind kind,
+                                                     bool is_probe) {
+  const auto it = ids_.find(name);
+  if (it != ids_.end()) {
+    Instrument& existing = instruments_[it->second];
+    if (existing.is_probe || is_probe) {
+      throw std::invalid_argument("MetricsRegistry: probe name reused: " +
+                                  std::string(name));
+    }
+    if (existing.kind != kind) {
+      throw std::invalid_argument("MetricsRegistry: kind mismatch for " +
+                                  std::string(name));
+    }
+    return existing;
+  }
+  Instrument& fresh = instruments_.emplace_back();
+  fresh.name = std::string(name);
+  fresh.kind = kind;
+  fresh.is_probe = is_probe;
+  ids_.emplace(fresh.name,
+               static_cast<MetricId>(instruments_.size() - 1));
+  return fresh;
+}
+
+Counter MetricsRegistry::counter(std::string_view name) {
+  return Counter(&intern(name, MetricKind::kCounter, false).count);
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name) {
+  return Gauge(&intern(name, MetricKind::kGauge, false).value);
+}
+
+Histogram MetricsRegistry::histogram(std::string_view name,
+                                     std::vector<double> upper_edges) {
+  if (upper_edges.empty()) {
+    throw std::invalid_argument("MetricsRegistry: histogram needs edges");
+  }
+  if (!std::is_sorted(upper_edges.begin(), upper_edges.end()) ||
+      std::adjacent_find(upper_edges.begin(), upper_edges.end()) !=
+          upper_edges.end()) {
+    throw std::invalid_argument(
+        "MetricsRegistry: histogram edges must be strictly increasing");
+  }
+  Instrument& inst = intern(name, MetricKind::kHistogram, false);
+  if (inst.hist.counts.empty()) {  // fresh registration
+    inst.hist.upper_edges = std::move(upper_edges);
+    inst.hist.counts.assign(inst.hist.upper_edges.size() + 1, 0);
+  } else if (inst.hist.upper_edges != upper_edges) {
+    throw std::invalid_argument("MetricsRegistry: histogram edges differ for " +
+                                inst.name);
+  }
+  return Histogram(&inst.hist);
+}
+
+MetricId MetricsRegistry::probe_counter(std::string_view name,
+                                        MetricProbe probe) {
+  Instrument& inst = intern(name, MetricKind::kCounter, true);
+  inst.probe = std::move(probe);
+  return id(inst.name);
+}
+
+MetricId MetricsRegistry::probe_gauge(std::string_view name,
+                                      MetricProbe probe) {
+  Instrument& inst = intern(name, MetricKind::kGauge, true);
+  inst.probe = std::move(probe);
+  return id(inst.name);
+}
+
+MetricId MetricsRegistry::id(std::string_view name) const {
+  const auto it = ids_.find(name);
+  if (it == ids_.end()) {
+    throw std::out_of_range("MetricsRegistry: unknown metric " +
+                            std::string(name));
+  }
+  return it->second;
+}
+
+const std::string& MetricsRegistry::name(MetricId id) const {
+  return instruments_.at(id).name;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot(SimTime at) {
+  MetricsSnapshot snap;
+  snap.at = at;
+  snap.entries.reserve(instruments_.size());
+  for (Instrument& inst : instruments_) {
+    SnapshotEntry entry;
+    entry.name = inst.name;
+    entry.kind = inst.kind;
+    switch (inst.kind) {
+      case MetricKind::kCounter:
+        entry.value = inst.is_probe ? inst.probe()
+                                    : static_cast<double>(inst.count);
+        break;
+      case MetricKind::kGauge:
+        entry.value = inst.is_probe ? inst.probe() : inst.value;
+        break;
+      case MetricKind::kHistogram:
+        entry.value = static_cast<double>(inst.hist.total);
+        snap.histograms.emplace_back(inst.name, inst.hist);
+        break;
+    }
+    snap.entries.push_back(std::move(entry));
+  }
+  return snap;
+}
+
+}  // namespace bolot::obs

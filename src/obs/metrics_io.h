@@ -1,0 +1,26 @@
+// JSON export for metrics snapshots and sampled time series (the
+// --metrics-out flag of the benches).  Deterministic by the same rules as
+// runner/sweep_io: field order is registration order, doubles use
+// shortest round-trip std::to_chars formatting, nothing reads locale.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+
+namespace bolot::obs {
+
+/// Pretty-printed JSON document (2-space indent, trailing newline) with
+/// "at_ns", "metrics" (registration order), "histograms", and "series".
+std::string metrics_to_json(const MetricsSnapshot& snapshot,
+                            const std::vector<TimeSeries>& series = {});
+
+/// Writes metrics_to_json to `path`; throws std::runtime_error on I/O
+/// failure.
+void write_metrics_json(const std::string& path,
+                        const MetricsSnapshot& snapshot,
+                        const std::vector<TimeSeries>& series = {});
+
+}  // namespace bolot::obs

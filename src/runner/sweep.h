@@ -99,4 +99,12 @@ SweepResult run_sweep(const std::vector<RunSpec>& specs, const SweepJob& job,
 /// their sweep-specific extras to this base.
 std::vector<Metric> scenario_metrics(const scenario::ScenarioResult& result);
 
+/// Appends every scalar entry of a metrics snapshot (counters and gauges;
+/// histograms are skipped — they are not single scalars) to `metrics` as
+/// "<prefix><name>".  Scenario jobs use prefix "obs." so snapshot-derived
+/// values cannot collide with the hand-rolled metric names above.
+void append_snapshot_metrics(std::vector<Metric>& metrics,
+                             const obs::MetricsSnapshot& snapshot,
+                             const std::string& prefix = "obs.");
+
 }  // namespace bolot::runner

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "nettime/clock.h"
+#include "obs/sampler.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "sim/traffic.h"
 #include "sim/udp_echo.h"
@@ -36,7 +38,9 @@ constexpr Duration kWarmup = Duration::seconds(5);
 constexpr Duration kDrain = Duration::seconds(2);
 
 ScenarioResult run_chain(const ChainSpec& spec, const ProbePlan& plan,
-                         const CrossTraffic& cross) {
+                         const CrossTraffic& cross,
+                         const ScenarioOverrides& overrides) {
+  TRACE_SCOPE("scenario.run_chain");
   if (spec.names.size() < 2 || spec.hops.size() + 1 != spec.names.size()) {
     throw std::invalid_argument("run_chain: inconsistent chain spec");
   }
@@ -142,26 +146,56 @@ ScenarioResult run_chain(const ChainSpec& spec, const ProbePlan& plan,
   sim::UdpEchoSource probe_source(simulator, net, path.front(), path.back(),
                                   probe_config);
 
+  // Optional observability: nothing below is even constructed on the
+  // default path, so default runs schedule exactly the same events.
+  sim::Link& bneck_fwd = net.link(upstream, downstream);
+  sim::Link& bneck_rev = net.link(downstream, upstream);
+  obs::MetricsRegistry registry;
+  std::optional<obs::Sampler> sampler;
+  if (overrides.obs_sample_interval) {
+    sampler.emplace(simulator, *overrides.obs_sample_interval,
+                    overrides.obs_series_budget);
+    // Both directions of a duplex link share one config name; publish
+    // them under stable direction-qualified prefixes so sweeps can be
+    // diffed across scenarios.
+    bneck_fwd.publish_metrics(registry, "bneck.fwd");
+    bneck_rev.publish_metrics(registry, "bneck.rev");
+    probe_source.publish_metrics(registry);
+    obs::watch_queue_packets(*sampler, bneck_fwd);
+    obs::watch_backlog_work_ms(*sampler, bneck_fwd);
+    obs::watch_utilization(*sampler, bneck_fwd, simulator);
+    if (spec.hops[spec.bottleneck_hop].red) {
+      obs::watch_red_average_queue(*sampler, bneck_fwd);
+    }
+    obs::watch_probe_rtt_ms(*sampler, probe_source);
+  }
+
   net.compute_routes();
   for (auto& source : sources) {
     // Stagger starts so sources do not phase-lock on the first event.
     source->start(Duration::millis(rng.uniform(0.0, 100.0)));
   }
   probe_source.start(kWarmup);
+  if (sampler) sampler->start(kWarmup);
 
   const Duration end = kWarmup + plan.duration + kDrain;
   simulator.run_until(end);
+  if (sampler) sampler->stop();
 
   ScenarioResult result;
   result.trace = probe_source.trace();
   result.route = net.traceroute(path.front(), path.back());
-  result.bottleneck_forward = net.link(upstream, downstream).stats();
-  result.bottleneck_reverse = net.link(downstream, upstream).stats();
+  result.bottleneck_forward = bneck_fwd.stats();
+  result.bottleneck_reverse = bneck_rev.stats();
   result.total_overflow_drops = net.total_overflow_drops();
   result.total_random_drops = net.total_random_drops();
   result.hop_deliveries = net.total_delivered();
   result.simulated = end;
   result.events = simulator.events_dispatched();
+  if (sampler) {
+    result.metrics = registry.snapshot(simulator.now());
+    result.series = sampler->snapshot();
+  }
   return result;
 }
 
@@ -289,7 +323,7 @@ ScenarioResult run_inria_umd(const ProbePlan& plan,
                              const ScenarioOverrides& overrides) {
   const ChainSpec spec = inria_umd_spec(overrides);
   const CrossTraffic cross = overrides.cross_traffic.value_or(CrossTraffic{});
-  return run_chain(spec, plan, cross);
+  return run_chain(spec, plan, cross, overrides);
 }
 
 ChainSpec inria_europe_spec(const ScenarioOverrides& overrides) {
@@ -339,7 +373,7 @@ ScenarioResult run_umd_pitt(const ProbePlan& plan,
   defaults.interactive_load = 0.08;
   defaults.interactive_packet_bytes = 128;
   const CrossTraffic cross = overrides.cross_traffic.value_or(defaults);
-  return run_chain(spec, plan, cross);
+  return run_chain(spec, plan, cross, overrides);
 }
 
 ScenarioResult run_inria_europe(const ProbePlan& plan,
@@ -354,7 +388,7 @@ ScenarioResult run_inria_europe(const ProbePlan& plan,
   defaults.mean_burst_packets = 12.0;
   defaults.interactive_load = 0.08;
   const CrossTraffic cross = overrides.cross_traffic.value_or(defaults);
-  return run_chain(spec, plan, cross);
+  return run_chain(spec, plan, cross, overrides);
 }
 
 }  // namespace bolot::scenario

@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "analysis/probe_trace.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "sim/link.h"
 #include "sim/network.h"
 #include "util/time.h"
@@ -70,6 +72,16 @@ struct ScenarioOverrides {
   /// Clock quantization at the source host; nullopt keeps the scenario's
   /// historically accurate tick, Duration::zero() disables quantization.
   std::optional<Duration> clock_tick;
+  /// Observability: when set, the run attaches a MetricsRegistry and a
+  /// Sampler at this interval — the bottleneck link (both directions) and
+  /// the probe source publish metrics, and the standard series (queue
+  /// packets, backlog work, utilization, RED average queue when RED is
+  /// on, probe rtt) are recorded — and the result carries the snapshot
+  /// and series.  Unset (the default), no observability object is even
+  /// constructed, so default outputs are byte-identical.
+  std::optional<Duration> obs_sample_interval;
+  /// Per-series sample budget before decimation (see obs::TimeSeries).
+  std::size_t obs_series_budget = 16384;
 };
 
 struct ScenarioResult {
@@ -84,6 +96,9 @@ struct ScenarioResult {
   std::uint64_t hop_deliveries = 0;
   Duration simulated;
   std::uint64_t events = 0;
+  /// Filled only when ScenarioOverrides::obs_sample_interval is set.
+  obs::MetricsSnapshot metrics;
+  std::vector<obs::TimeSeries> series;
 };
 
 /// Runs a NetDyn experiment over the INRIA -> UMd path of Table 1.

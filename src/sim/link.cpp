@@ -5,6 +5,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace bolot::sim {
 
 Link::Link(Simulator& sim, LinkConfig config, Rng drop_rng)
@@ -285,7 +288,41 @@ void Link::audit_verify() const {
             flight_.size());
 }
 
+void Link::publish_metrics(obs::MetricsRegistry& registry,
+                           const std::string& prefix_arg) const {
+  const std::string& prefix = prefix_arg.empty() ? config_.name : prefix_arg;
+  registry.probe_counter(prefix + ".offered",
+                         [this] { return double(stats_.offered); });
+  registry.probe_counter(prefix + ".delivered",
+                         [this] { return double(stats_.delivered); });
+  registry.probe_counter(prefix + ".bytes_delivered",
+                         [this] { return double(stats_.bytes_delivered); });
+  registry.probe_counter(prefix + ".drops_overflow",
+                         [this] { return double(stats_.overflow_drops); });
+  // RED early drops — the "early" half of the DropMonitor split.
+  registry.probe_counter(prefix + ".drops_early",
+                         [this] { return double(stats_.red_drops); });
+  registry.probe_counter(prefix + ".drops_random",
+                         [this] { return double(stats_.random_drops); });
+  registry.probe_counter(prefix + ".drops",
+                         [this] { return double(stats_.total_drops()); });
+  registry.probe_gauge(prefix + ".queue_pkts",
+                       [this] { return double(queue_.size()); });
+  registry.probe_gauge(prefix + ".backlog_bytes",
+                       [this] { return double(backlog_bytes_); });
+  registry.probe_gauge(prefix + ".max_queue",
+                       [this] { return double(stats_.max_queue); });
+  registry.probe_gauge(prefix + ".utilization", [this] {
+    return stats_.utilization(sim_.now());
+  });
+  if (config_.red) {
+    registry.probe_gauge(prefix + ".red_avg_queue",
+                         [this] { return red_avg_; });
+  }
+}
+
 void Link::drop(Packet&& packet, DropCause cause) {
+  SIM_TRACE("link.drop");
   switch (cause) {
     case DropCause::kOverflow:
       ++stats_.overflow_drops;

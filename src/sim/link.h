@@ -28,6 +28,10 @@
 #include "util/rng.h"
 #include "util/time.h"
 
+namespace bolot::obs {
+class MetricsRegistry;
+}  // namespace bolot::obs
+
 namespace bolot::sim {
 
 /// Random Early Detection (Floyd & Jacobson 1993 — contemporary with the
@@ -153,6 +157,15 @@ class Link {
 
   /// Current RED average queue estimate (0 when RED is off); for tests.
   double red_average_queue() const { return red_avg_; }
+
+  /// Registers this link's observables with a MetricsRegistry, prefixed
+  /// with `prefix` ("<prefix>.delivered", "<prefix>.drops_early", ...);
+  /// an empty prefix means the link name.  The two directions of a duplex
+  /// link share one name, so publishing both needs distinct prefixes.
+  /// Everything is published as snapshot-time probes reading the stats
+  /// the link already maintains, so the packet path pays nothing.
+  void publish_metrics(obs::MetricsRegistry& registry,
+                       const std::string& prefix = {}) const;
 
   /// Deep per-link walk, always compiled (callers are tests and the fuzz
   /// harness; audit builds also run it at every drain): packet

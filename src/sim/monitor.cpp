@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace bolot::sim {
 
 QueueMonitor::QueueMonitor(Simulator& sim, const Link& link,
@@ -58,12 +60,15 @@ void DropMonitor::record(const Packet& packet, DropCause cause) {
   switch (cause) {
     case DropCause::kOverflow:
       ++drops.overflow;
+      ++aggregate_.overflow;
       break;
     case DropCause::kRandom:
       ++drops.random;
+      ++aggregate_.random;
       break;
     case DropCause::kRed:
       ++drops.red;
+      ++aggregate_.red;
       break;
   }
 }
@@ -74,10 +79,16 @@ const DropMonitor::FlowDrops& DropMonitor::drops_for(
   return it == drops_.end() ? none_ : it->second;
 }
 
-std::uint64_t DropMonitor::total_drops() const {
-  std::uint64_t total = 0;
-  for (const auto& [flow, drops] : drops_) total += drops.total();
-  return total;
+void DropMonitor::publish_metrics(obs::MetricsRegistry& registry,
+                                  const std::string& prefix) const {
+  registry.probe_counter(prefix + ".early",
+                         [this] { return double(aggregate_.red); });
+  registry.probe_counter(prefix + ".overflow",
+                         [this] { return double(aggregate_.overflow); });
+  registry.probe_counter(prefix + ".random",
+                         [this] { return double(aggregate_.random); });
+  registry.probe_counter(prefix + ".total",
+                         [this] { return double(aggregate_.total()); });
 }
 
 }  // namespace bolot::sim

@@ -13,6 +13,10 @@
 #include "sim/link.h"
 #include "sim/simulator.h"
 
+namespace bolot::obs {
+class MetricsRegistry;
+}  // namespace bolot::obs
+
 namespace bolot::sim {
 
 /// Samples a link's instantaneous queue length (packets, including the
@@ -70,14 +74,29 @@ class DropMonitor {
   void attach(Link& link);
 
   const FlowDrops& drops_for(std::uint32_t flow) const;
-  std::uint64_t total_drops() const;
+  /// Sum over every cause and flow (== drops_early + drops_overflow +
+  /// drops_random, the backward-compatible total).
+  std::uint64_t total_drops() const { return aggregate_.total(); }
+  /// Aggregate split by cause across all flows.  "Early" drops are RED's
+  /// probabilistic admission drops; "overflow" drops are buffer-full
+  /// tail drops — reports that lumped them together can now tell a
+  /// congestion-avoidance signal from an actual full queue.
+  std::uint64_t drops_early() const { return aggregate_.red; }
+  std::uint64_t drops_overflow() const { return aggregate_.overflow; }
+  std::uint64_t drops_random() const { return aggregate_.random; }
   const std::map<std::uint32_t, FlowDrops>& by_flow() const { return drops_; }
+
+  /// Registers "<prefix>.early", ".overflow", ".random", and ".total" as
+  /// snapshot-time probe counters.
+  void publish_metrics(obs::MetricsRegistry& registry,
+                       const std::string& prefix = "drops") const;
 
  private:
   void record(const Packet& packet, DropCause cause);
 
   std::map<std::uint32_t, FlowDrops> drops_;
-  FlowDrops none_;  // returned for flows never seen
+  FlowDrops aggregate_;  // totals across flows, maintained on record()
+  FlowDrops none_;       // returned for flows never seen
 };
 
 }  // namespace bolot::sim

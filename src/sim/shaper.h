@@ -11,11 +11,16 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "sim/network.h"
 #include "sim/packet.h"
 #include "sim/simulator.h"
 #include "util/ring_buffer.h"
+
+namespace bolot::obs {
+class MetricsRegistry;
+}  // namespace bolot::obs
 
 namespace bolot::sim {
 
@@ -37,6 +42,12 @@ class TokenBucketShaper {
   std::uint64_t forwarded() const { return forwarded_; }
   std::uint64_t dropped() const { return dropped_; }
   std::size_t queue_length() const { return queue_.size(); }
+  double tokens_bytes() const { return tokens_bytes_; }
+
+  /// Registers shaper observables ("<prefix>.forwarded", ".dropped",
+  /// ".queue_pkts", ".tokens_bytes") as snapshot-time probes.
+  void publish_metrics(obs::MetricsRegistry& registry,
+                       const std::string& prefix) const;
 
  private:
   void refill_to_now();

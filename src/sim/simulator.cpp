@@ -3,6 +3,7 @@
 namespace bolot::sim {
 
 void Simulator::run_until(SimTime end) {
+  TRACE_SCOPE("sim.run_until");
   while (!queue_.empty() && queue_.next_time() <= end) {
     // Advance the clock before dispatch so callbacks see their own time
     // (dispatch_one also maintains the audit context in audit builds).
@@ -12,6 +13,7 @@ void Simulator::run_until(SimTime end) {
 }
 
 void Simulator::run_to_completion() {
+  TRACE_SCOPE("sim.run_to_completion");
   while (!queue_.empty()) dispatch_one();
 }
 

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.h"
 #include "sim/event_queue.h"
 #include "util/audit.h"
 #include "util/time.h"
@@ -82,6 +83,11 @@ class Simulator {
         // Stamp failure reports with the event being dispatched; the
         // Release hot path never touches the thread-local.
         util::audit_set_sim_context(now_.count_nanos(), dispatched_);
+      }
+      if constexpr (obs::kTraceEnabled) {
+        // SIM_TRACE instants fired from this event read the sim clock
+        // here (same thread-local pattern as the audit context).
+        obs::TraceRecorder::set_sim_time(now_.count_nanos());
       }
     });
     ++dispatched_;

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/audit.h"
 
 namespace bolot::sim {
@@ -189,6 +191,7 @@ void TcpSource::on_ack(std::uint64_t cumulative_ack) {
     if (++dupacks_ == config_.dupack_threshold && snd_una_ < snd_nxt_ &&
         snd_una_ >= recover_) {
       ++stats_.fast_retransmits;
+      SIM_TRACE("tcp.fast_retransmit");
       enter_loss_recovery();
     }
     return;
@@ -273,8 +276,31 @@ void TcpSource::on_timeout() {
   if (!running_ || !transfer_active_) return;
   if (snd_una_ == snd_nxt_) return;  // nothing outstanding
   ++stats_.timeouts;
+  SIM_TRACE("tcp.timeout");
   rto_ = std::min(rto_ * 2, config_.max_rto);  // exponential backoff
   enter_loss_recovery();
+}
+
+void TcpSource::publish_metrics(obs::MetricsRegistry& registry,
+                                const std::string& prefix) const {
+  registry.probe_counter(prefix + ".segments_sent",
+                         [this] { return double(stats_.segments_sent); });
+  registry.probe_counter(prefix + ".segments_acked",
+                         [this] { return double(stats_.segments_acked); });
+  registry.probe_counter(prefix + ".retransmissions",
+                         [this] { return double(stats_.retransmissions); });
+  registry.probe_counter(prefix + ".timeouts",
+                         [this] { return double(stats_.timeouts); });
+  registry.probe_counter(prefix + ".fast_retransmits",
+                         [this] { return double(stats_.fast_retransmits); });
+  registry.probe_gauge(prefix + ".cwnd_pkts", [this] { return cwnd_; });
+  registry.probe_gauge(prefix + ".flight_pkts",
+                       [this] { return double(snd_nxt_ - snd_una_); });
+  registry.probe_gauge(prefix + ".ssthresh_pkts",
+                       [this] { return ssthresh_; });
+  registry.probe_gauge(prefix + ".srtt_ms", [this] { return srtt_ms_; });
+  registry.probe_gauge(prefix + ".rto_ms",
+                       [this] { return rto_.millis(); });
 }
 
 }  // namespace bolot::sim

@@ -22,6 +22,7 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <string>
 
 #include "util/inplace_function.h"
 
@@ -30,6 +31,10 @@
 #include "sim/simulator.h"
 #include "util/rng.h"
 #include "util/time.h"
+
+namespace bolot::obs {
+class MetricsRegistry;
+}  // namespace bolot::obs
 
 namespace bolot::sim {
 
@@ -108,7 +113,15 @@ class TcpSource {
 
   const TcpStats& stats() const { return stats_; }
   double cwnd_packets() const { return cwnd_; }
+  /// Segments sent but not yet cumulatively acked (snd_nxt - snd_una).
+  std::uint64_t flight_segments() const { return snd_nxt_ - snd_una_; }
   Duration current_rto() const { return rto_; }
+
+  /// Registers window/RTT/retransmission observables under `prefix`
+  /// (e.g. "tcp.ftp1") as snapshot-time probes; the ack path pays
+  /// nothing.
+  void publish_metrics(obs::MetricsRegistry& registry,
+                       const std::string& prefix) const;
 
  private:
   void begin_transfer();

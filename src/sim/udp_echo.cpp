@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "nettime/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace bolot::sim {
 
@@ -58,6 +60,7 @@ void UdpEchoSource::start(SimTime at) { sim_.schedule_at(at, [this] { send_next(
 void UdpEchoSource::send_next() {
   if (next_seq_ >= config_.probe_count) return;
 
+  SIM_TRACE("probe.send");
   analysis::ProbeRecord record;
   record.seq = next_seq_;
   record.send_time = stamp();
@@ -94,9 +97,20 @@ void UdpEchoSource::on_packet(Packet&& p) {
   record.received = true;
   record.rtt = stamp() - record.send_time;
   record.echo_time = p.probe().echo_ts;
+  last_rtt_ms_ = record.rtt.millis();
   ++received_;
+  SIM_TRACE("probe.echo");
 }
 
 analysis::ProbeTrace UdpEchoSource::trace() const { return trace_; }
+
+void UdpEchoSource::publish_metrics(obs::MetricsRegistry& registry) const {
+  registry.probe_counter("probe.sent",
+                         [this] { return double(next_seq_); });
+  registry.probe_counter("probe.received",
+                         [this] { return double(received_); });
+  registry.probe_gauge("probe.last_rtt_ms",
+                       [this] { return last_rtt_ms_; });
+}
 
 }  // namespace bolot::sim

@@ -17,6 +17,10 @@
 #include "sim/simulator.h"
 #include "util/time.h"
 
+namespace bolot::obs {
+class MetricsRegistry;
+}  // namespace bolot::obs
+
 namespace bolot::sim {
 
 /// Echo application: registers as the receiver at `node`; probe packets
@@ -67,6 +71,13 @@ class UdpEchoSource {
 
   std::uint64_t sent_count() const { return next_seq_; }
   std::uint64_t received_count() const { return received_; }
+  /// RTT of the most recently returned echo, in milliseconds through the
+  /// (maybe coarse) source clock; 0 until the first echo arrives.
+  double last_rtt_ms() const { return last_rtt_ms_; }
+
+  /// Registers probe-side observables ("probe.sent", "probe.received",
+  /// "probe.last_rtt_ms") as snapshot-time probes.
+  void publish_metrics(obs::MetricsRegistry& registry) const;
 
  private:
   void send_next();
@@ -80,6 +91,7 @@ class UdpEchoSource {
   Rng interval_rng_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t received_ = 0;
+  double last_rtt_ms_ = 0.0;
   analysis::ProbeTrace trace_;
 };
 

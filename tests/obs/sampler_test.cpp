@@ -1,0 +1,184 @@
+#include "obs/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "obs/timeseries.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "sim/traffic.h"
+
+namespace bolot::obs {
+namespace {
+
+TEST(TimeSeriesTest, GridAndPush) {
+  TimeSeries series("s", 4);
+  series.reset(Duration::seconds(1), Duration::millis(10));
+  series.push(1.0);
+  series.push(2.0);
+  EXPECT_EQ(series.size(), 2u);
+  EXPECT_EQ(series.time_at(0), Duration::seconds(1));
+  EXPECT_EQ(series.time_at(1), Duration::seconds(1) + Duration::millis(10));
+  EXPECT_THROW(TimeSeries("tiny", 1), std::invalid_argument);
+  EXPECT_THROW(series.reset(SimTime(), Duration::zero()),
+               std::invalid_argument);
+}
+
+TEST(TimeSeriesTest, DecimateKeepsEvenSamplesAndDoublesStride) {
+  TimeSeries series("s", 8);
+  series.reset(SimTime(), Duration::millis(5));
+  for (int i = 0; i < 8; ++i) series.push(static_cast<double>(i));
+  EXPECT_TRUE(series.full());
+  series.decimate();
+  // Samples 0,2,4,6 survive; the grid origin is unchanged.
+  ASSERT_EQ(series.size(), 4u);
+  EXPECT_EQ(series.values()[0], 0.0);
+  EXPECT_EQ(series.values()[1], 2.0);
+  EXPECT_EQ(series.values()[2], 4.0);
+  EXPECT_EQ(series.values()[3], 6.0);
+  EXPECT_EQ(series.stride(), Duration::millis(10));
+  EXPECT_EQ(series.time_at(3), Duration::millis(30));
+  // Sample 8 was due at t=40ms = time_at(4) on the coarser grid: the next
+  // push lands exactly where the pre-decimation cadence put it.
+  EXPECT_EQ(series.time_at(4), Duration::millis(40));
+  EXPECT_FALSE(series.full());  // decimation frees half the budget
+}
+
+TEST(TimeSeriesTest, PushPastBudgetThrows) {
+  TimeSeries series("s", 2);
+  series.reset(SimTime(), Duration::millis(1));
+  series.push(0.0);
+  series.push(1.0);
+  EXPECT_THROW(series.push(2.0), std::logic_error);
+}
+
+TEST(SamplerTest, RecordsUniformlySpacedSamples) {
+  sim::Simulator simulator;
+  Sampler sampler(simulator, Duration::millis(10), 1024);
+  double level = 0.0;
+  const std::size_t idx = sampler.add_series("level", [&level] {
+    return level;
+  });
+  sampler.start(Duration::millis(100));
+  simulator.schedule_at(Duration::millis(145), [&level] { level = 7.0; });
+  simulator.run_until(Duration::millis(200));
+  sampler.stop();
+  simulator.run_to_completion();
+
+  const TimeSeries& series = sampler.series(idx);
+  // Samples at 100,110,...,200 ms inclusive.
+  ASSERT_EQ(series.size(), 11u);
+  EXPECT_EQ(series.start(), Duration::millis(100));
+  EXPECT_EQ(series.stride(), Duration::millis(10));
+  EXPECT_EQ(series.values()[4], 0.0);   // t = 140 ms
+  EXPECT_EQ(series.values()[5], 7.0);   // t = 150 ms
+  EXPECT_EQ(series.values()[10], 7.0);  // t = 200 ms
+  EXPECT_EQ(sampler.series_by_name("level"), &series);
+  EXPECT_EQ(sampler.series_by_name("nope"), nullptr);
+}
+
+TEST(SamplerTest, DecimatesAllSeriesTogetherPastBudget) {
+  sim::Simulator simulator;
+  Sampler sampler(simulator, Duration::millis(1), 8);
+  int ticks = 0;
+  sampler.add_series("tick", [&ticks] { return double(ticks++); });
+  sampler.add_series("const", [] { return 5.0; });
+  sampler.start(SimTime());
+  simulator.run_until(Duration::millis(20));  // 21 grid points > 2x budget
+  sampler.stop();
+  simulator.run_to_completion();
+
+  // 8 samples fill the budget; decimation at sample 9 halves to 4 and
+  // doubles the stride to 2 ms; the second fill + decimation leaves the
+  // series on a 4 ms grid.
+  EXPECT_EQ(sampler.stride(), Duration::millis(4));
+  const TimeSeries& tick = sampler.series(0);
+  const TimeSeries& cnst = sampler.series(1);
+  ASSERT_EQ(tick.size(), cnst.size());
+  EXPECT_EQ(tick.stride(), Duration::millis(4));
+  // The probe numbers its evaluations 0,1,2,...: ticks 0..7 fill the
+  // budget on the 1 ms grid; the tick due at 8 ms decimates to [0,2,4,6]
+  // on a 2 ms grid and records 8; 9..11 land at 10/12/14 ms; the tick due
+  // at 16 ms decimates again to [0,4,8,10] on a 4 ms grid and records 12;
+  // 13 lands at 20 ms.  Each surviving value sits exactly where it was
+  // recorded — the origin never moves, the stride only doubles.
+  const std::vector<double> expected = {0, 4, 8, 10, 12, 13};
+  ASSERT_EQ(tick.size(), expected.size());
+  for (std::size_t i = 0; i < tick.size(); ++i) {
+    EXPECT_EQ(tick.values()[i], expected[i]) << i;
+    EXPECT_EQ(cnst.values()[i], 5.0);
+    EXPECT_EQ(tick.time_at(i), Duration::millis(4) * std::int64_t(i));
+  }
+}
+
+TEST(SamplerTest, AddSeriesAfterStartThrows) {
+  sim::Simulator simulator;
+  Sampler sampler(simulator, Duration::millis(1));
+  sampler.add_series("ok", [] { return 0.0; });
+  sampler.start(SimTime());
+  EXPECT_THROW(sampler.add_series("late", [] { return 0.0; }),
+               std::logic_error);
+  sampler.stop();
+  EXPECT_THROW(Sampler(simulator, Duration::zero()), std::invalid_argument);
+  EXPECT_THROW(Sampler(simulator, Duration::millis(1), 1),
+               std::invalid_argument);
+}
+
+TEST(SamplerTest, StopHaltsSampling) {
+  sim::Simulator simulator;
+  Sampler sampler(simulator, Duration::millis(1), 64);
+  sampler.add_series("x", [] { return 1.0; });
+  sampler.start(SimTime());
+  simulator.run_until(Duration::millis(5));
+  sampler.stop();
+  const std::size_t at_stop = sampler.size();
+  simulator.run_to_completion();  // terminates: no self-re-arming event left
+  EXPECT_EQ(sampler.size(), at_stop);
+  EXPECT_FALSE(sampler.running());
+}
+
+TEST(SamplerTest, WatchHelpersTrackComponentState) {
+  sim::Simulator simulator;
+  sim::Network net(simulator, 5);
+  const auto a = net.add_node("a");
+  const auto b = net.add_node("b");
+  sim::LinkConfig config;
+  config.name = "ab";
+  config.rate_bps = 8e6;  // 1000-byte packet = 1 ms service
+  config.propagation = Duration::millis(1);
+  config.buffer_packets = 64;
+  sim::Link& link = net.add_link(a, b, config);
+
+  Sampler sampler(simulator, Duration::micros(500), 4096);
+  const std::size_t q_idx = watch_queue_packets(sampler, link);
+  const std::size_t w_idx = watch_backlog_work_ms(sampler, link);
+  const std::size_t u_idx = watch_utilization(sampler, link, simulator);
+  EXPECT_EQ(sampler.series(q_idx).name(), "ab.queue_pkts");
+
+  sim::CbrSource source(simulator, net, a, b, 1, sim::PacketKind::kBulk,
+                        Rng(9), Duration::millis(1), 1000);
+  net.compute_routes();
+  source.start(SimTime());
+  sampler.start(SimTime());
+  simulator.run_until(Duration::millis(10));
+  sampler.stop();
+  source.stop();
+  simulator.run_to_completion();
+
+  // CBR at exactly the service rate: past the first packet the queue has
+  // one packet in service, i.e. 1 packet / 1 ms of work, utilization -> 1.
+  const auto& queue = sampler.series(q_idx).values();
+  const auto& work = sampler.series(w_idx).values();
+  const auto& util = sampler.series(u_idx).values();
+  ASSERT_EQ(queue.size(), 21u);
+  // The source started before the sampler, so the t=0 sample already
+  // sees the first packet in service.
+  EXPECT_EQ(queue.front(), 1.0);
+  EXPECT_EQ(queue.back(), 1.0);
+  EXPECT_DOUBLE_EQ(work.back(), 1.0);
+  EXPECT_GT(util.back(), 0.8);
+}
+
+}  // namespace
+}  // namespace bolot::obs

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Documentation checks: markdown links resolve, C++ snippets compile.
+
+Usage: check_docs.py [--repo DIR]
+
+Two passes over the repo's markdown:
+
+  1. Link check (every tracked *.md): each inline [text](target) whose
+     target is not an external URL or a pure anchor must point at an
+     existing file or directory, resolved relative to the markdown file.
+  2. Snippet compile (docs/*.md only): every fenced ```cpp block must
+     pass `c++ -std=c++20 -fsyntax-only -I src`.  #include lines are
+     hoisted to the top of the generated translation unit; blocks that
+     define main() are compiled verbatim, anything else is wrapped in a
+     function body (so statement-level walkthroughs work unmodified).
+     Tag a fence ```cpp no-compile to exempt pseudo-code.
+
+Exit status 1 when anything fails, with one line per problem.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^```(\S*)(.*)$")
+
+
+def iter_markdown(repo):
+    for root, dirs, files in os.walk(repo):
+        dirs[:] = [d for d in dirs
+                   if not d.startswith(".") and not d.startswith("build")]
+        for name in sorted(files):
+            if name.endswith(".md"):
+                yield os.path.join(root, name)
+
+
+def strip_code(text):
+    """Blank out fenced code blocks so links inside them are ignored."""
+    out, in_fence = [], False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            out.append("")
+        else:
+            out.append("" if in_fence else line)
+    return "\n".join(out)
+
+
+def check_links(path, repo):
+    problems = []
+    with open(path) as f:
+        text = strip_code(f.read())
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        target = target.split("#", 1)[0]  # file.md#anchor -> file.md
+        if not target:
+            continue
+        resolved = os.path.normpath(os.path.join(os.path.dirname(path), target))
+        if not os.path.exists(resolved):
+            rel = os.path.relpath(path, repo)
+            problems.append(f"{rel}: broken link -> {match.group(1)}")
+    return problems
+
+
+def extract_cpp_blocks(path):
+    """Yields (first_line_number, info_string, code) per fenced cpp block."""
+    blocks, lines = [], open(path).read().splitlines()
+    i = 0
+    while i < len(lines):
+        match = FENCE_RE.match(lines[i].strip())
+        if match and match.group(1).startswith("cpp"):
+            info = (match.group(1) + match.group(2)).strip()
+            start = i + 1
+            body = []
+            i += 1
+            while i < len(lines) and not lines[i].strip().startswith("```"):
+                body.append(lines[i])
+                i += 1
+            blocks.append((start + 1, info, "\n".join(body)))
+        elif match and match.group(1):
+            # skip a non-cpp fence in one go
+            i += 1
+            while i < len(lines) and not lines[i].strip().startswith("```"):
+                i += 1
+        i += 1
+    return blocks
+
+
+def snippet_source(code):
+    if "int main(" in code:
+        return code + "\n"
+    includes, rest = [], []
+    for line in code.splitlines():
+        (includes if line.lstrip().startswith("#include") else rest).append(line)
+    body = "\n".join("  " + line if line else "" for line in rest)
+    return ("\n".join(includes)
+            + "\nvoid bolot_doc_snippet() {\n" + body + "\n}\n")
+
+
+def check_snippets(path, repo, compiler):
+    problems = []
+    for line_no, info, code in extract_cpp_blocks(path):
+        if "no-compile" in info:
+            continue
+        source = snippet_source(code)
+        with tempfile.NamedTemporaryFile(
+                mode="w", suffix=".cpp", delete=False) as f:
+            f.write(source)
+            tmp = f.name
+        try:
+            result = subprocess.run(
+                [compiler, "-std=c++20", "-fsyntax-only",
+                 "-I", os.path.join(repo, "src"), "-x", "c++", tmp],
+                capture_output=True, text=True)
+            if result.returncode != 0:
+                rel = os.path.relpath(path, repo)
+                first_error = next(
+                    (l for l in result.stderr.splitlines() if "error" in l),
+                    result.stderr.strip().splitlines()[0]
+                    if result.stderr.strip() else "compile failed")
+                problems.append(
+                    f"{rel}:{line_no}: snippet fails to compile: {first_error}")
+        finally:
+            os.unlink(tmp)
+    return problems
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repo", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    args = parser.parse_args(argv[1:])
+    repo = args.repo
+    compiler = os.environ.get("CXX", "c++")
+
+    problems = []
+    md_files = list(iter_markdown(repo))
+    snippet_files = [p for p in md_files
+                     if os.path.dirname(p) == os.path.join(repo, "docs")]
+    for path in md_files:
+        problems += check_links(path, repo)
+    snippets = 0
+    for path in snippet_files:
+        blocks = extract_cpp_blocks(path)
+        snippets += len(blocks)
+        problems += check_snippets(path, repo, compiler)
+
+    for problem in problems:
+        print(problem)
+    print(f"checked {len(md_files)} markdown files, "
+          f"{snippets} cpp snippets in docs/: "
+          f"{'FAIL' if problems else 'ok'}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
