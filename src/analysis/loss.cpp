@@ -61,6 +61,18 @@ LossStats loss_stats(const ProbeTrace& trace) {
   return loss_stats(indicators);
 }
 
+LossGapEstimate LossStats::loss_gap(double relative_tolerance) const {
+  LossGapEstimate gap;
+  gap.from_clp = plg_from_clp;
+  gap.from_bursts = mean_burst_length;
+  if (std::isfinite(gap.from_clp) && std::isfinite(gap.from_bursts) &&
+      gap.from_bursts > 0.0) {
+    gap.consistent = std::abs(gap.from_clp - gap.from_bursts) <=
+                     relative_tolerance * gap.from_bursts;
+  }
+  return gap;
+}
+
 GilbertFit fit_gilbert(std::span<const std::uint8_t> losses) {
   if (losses.size() < 2) {
     throw std::invalid_argument("fit_gilbert: need at least two samples");
@@ -77,12 +89,23 @@ GilbertFit fit_gilbert(std::span<const std::uint8_t> losses) {
     }
   }
   GilbertFit fit;
-  fit.p = ok_pairs > 0 ? static_cast<double>(ok_to_lost) /
-                             static_cast<double>(ok_pairs)
-                       : 0.0;
-  fit.q = lost_pairs > 0 ? static_cast<double>(lost_to_ok) /
-                               static_cast<double>(lost_pairs)
-                         : 1.0;
+  if (ok_pairs == 0) {
+    // All-lost: q was never observed.  Clamp so stationary_loss() reports
+    // the empirical rate 1.0 instead of the old degenerate 0.0.
+    fit.p = 1.0;
+    fit.q = 0.0;
+    fit.degenerate = true;
+    return fit;
+  }
+  if (lost_pairs == 0) {
+    // All-ok (as far as transitions go): p is measured, q never observed.
+    fit.p = static_cast<double>(ok_to_lost) / static_cast<double>(ok_pairs);
+    fit.q = 1.0;
+    fit.degenerate = true;
+    return fit;
+  }
+  fit.p = static_cast<double>(ok_to_lost) / static_cast<double>(ok_pairs);
+  fit.q = static_cast<double>(lost_to_ok) / static_cast<double>(lost_pairs);
   return fit;
 }
 

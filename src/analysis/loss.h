@@ -19,14 +19,36 @@
 
 namespace bolot::analysis {
 
+/// Both loss-gap estimators side by side.  `from_clp` is the model-based
+/// gap 1/(1-clp) (infinite when clp == 1, i.e. no loss run ever ended
+/// inside the trace); `from_bursts` is the empirical mean loss-run
+/// length.  They agree asymptotically for a stationary loss process but
+/// can disagree on short traces: from_clp weights every (lost, next)
+/// pair equally, while from_bursts weights every *run* equally, so a
+/// single long burst in a short trace pulls from_clp up much harder.
+/// `consistent` is false when either is non-finite or they differ by
+/// more than the tolerance passed to loss_gap().
+struct LossGapEstimate {
+  double from_clp = 0.0;
+  double from_bursts = 0.0;
+  bool consistent = false;
+};
+
 struct LossStats {
   std::size_t probes = 0;
   std::size_t losses = 0;
   double ulp = 0.0;
   double clp = 0.0;           // 0 when no loss-followed-by-anything pairs
-  double plg_from_clp = 0.0;  // 1 / (1 - clp)
+  double plg_from_clp = 0.0;  // 1 / (1 - clp); INFINITY when clp == 1
   double mean_burst_length = 0.0;  // empirical mean loss-run length
   std::vector<std::size_t> burst_length_counts;  // index k = runs of length k+1
+
+  /// Reports both gap estimators and whether they agree within
+  /// `relative_tolerance` (see LossGapEstimate for why they can differ
+  /// on short traces).  Consumers that must pick one (e.g.
+  /// bench/fec_ablation) should prefer from_bursts, which stays finite,
+  /// and print which estimator they used.
+  LossGapEstimate loss_gap(double relative_tolerance = 0.1) const;
 };
 
 /// Computes the loss statistics from a 0/1 loss indicator sequence
@@ -37,9 +59,22 @@ LossStats loss_stats(const ProbeTrace& trace);
 /// Two-state Gilbert model fit: p = P(lost_{n+1} | ok_n),
 /// q = P(ok_{n+1} | lost_n).  Stationary loss rate = p / (p + q) and
 /// clp = 1 - q; both are exposed for cross-checking against LossStats.
+///
+/// Edge case: a sequence that never leaves one state gives no evidence
+/// about the other state's transition rate, so the chain is not
+/// identifiable.  fit_gilbert flags that with `degenerate = true` and
+/// clamps the free parameter so stationary_loss() matches the empirical
+/// loss rate: all-lost => p = 1, q = 0 (stationary 1.0, not the old
+/// buggy 0.0); all-ok => p = 0, q = 1 (stationary 0.0).  Downstream
+/// consumers that need a real chain (e.g.
+/// sim::MarkovChannelConfig::from_gilbert_fit) must reject degenerate
+/// fits rather than simulate from a guessed parameter.
 struct GilbertFit {
   double p = 0.0;
   double q = 0.0;
+  /// True when the input sequence stayed in one state throughout, so one
+  /// of p/q was never observed (see above).
+  bool degenerate = false;
   double stationary_loss() const {
     return (p + q) > 0.0 ? p / (p + q) : 0.0;
   }

@@ -1,6 +1,7 @@
 #include "obs/metrics_io.h"
 
 #include <charconv>
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <stdexcept>
@@ -10,8 +11,12 @@ namespace bolot::obs {
 namespace {
 
 // Shortest round-trip double formatting, same contract as the runner's
-// sweep_io (byte-stable across machines, locale-independent).
+// sweep_io (byte-stable across machines, locale-independent).  Non-finite
+// values serialize as null: JSON has no inf/nan tokens, and a gauge can
+// legitimately evaluate to one (e.g. a loss-gap probe over an all-lost
+// window).
 std::string format_number(double value) {
+  if (!std::isfinite(value)) return "null";
   char buffer[64];
   const auto [ptr, ec] =
       std::to_chars(buffer, buffer + sizeof(buffer), value);

@@ -124,10 +124,14 @@ std::vector<Metric> scenario_metrics(const scenario::ScenarioResult& result) {
   metrics.push_back(
       {"bneck_random_drops", static_cast<double>(fwd.random_drops)});
   metrics.push_back({"bneck_red_drops", static_cast<double>(fwd.red_drops)});
+  metrics.push_back(
+      {"bneck_channel_drops", static_cast<double>(fwd.channel_drops)});
   metrics.push_back({"path_overflow_drops",
                      static_cast<double>(result.total_overflow_drops)});
   metrics.push_back(
       {"path_random_drops", static_cast<double>(result.total_random_drops)});
+  metrics.push_back(
+      {"path_channel_drops", static_cast<double>(result.total_channel_drops)});
   metrics.push_back({"events", static_cast<double>(result.events)});
   append_snapshot_metrics(metrics, result.metrics);
   return metrics;

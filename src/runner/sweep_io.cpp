@@ -1,6 +1,7 @@
 #include "runner/sweep_io.h"
 
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -11,8 +12,13 @@ namespace bolot::runner {
 
 namespace {
 
-/// Shortest round-trip decimal rendering; locale-independent.
+/// Shortest round-trip decimal rendering; locale-independent.  JSON has
+/// no representation for inf/nan (std::to_chars would happily emit those
+/// tokens and corrupt the artifact — e.g. plg when every probe after the
+/// first is lost, clp == 1), so non-finite values serialize as null;
+/// consumers (tools/bench_diff.py) treat null as "not comparable".
 std::string format_number(double value) {
+  if (!std::isfinite(value)) return "null";
   char buffer[64];
   const auto [ptr, ec] =
       std::to_chars(buffer, buffer + sizeof(buffer), value);

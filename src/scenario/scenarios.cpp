@@ -23,6 +23,12 @@ struct HopSpec {
   std::size_t buffer_packets;
   double random_drop = 0.0;  // faulty-interface loss per traversal
   std::optional<sim::RedConfig> red;
+  /// Forward-direction-only stages: the probe direction carries the
+  /// modeled channel / trace-driven transmitter, the reverse (echo)
+  /// direction stays an ideal constant-rate link so measured loss
+  /// attributes cleanly.
+  std::optional<sim::MarkovChannelConfig> channel;
+  std::shared_ptr<const sim::DeliverySchedule> schedule;
 };
 
 struct ChainSpec {
@@ -61,7 +67,21 @@ ScenarioResult run_chain(const ChainSpec& spec, const ProbePlan& plan,
     config.buffer_packets = hop.buffer_packets;
     config.random_drop_probability = hop.random_drop;
     config.red = hop.red;
-    net.add_duplex_link(path[h], path[h + 1], config);
+    if (hop.channel || hop.schedule) {
+      // Channel stages are forward-only (see HopSpec), so the duplex pair
+      // becomes two directed links with asymmetric configs.  Forward
+      // first: add_duplex_link also creates a->b before b->a, so the
+      // per-link rng split order — and thus every channel-free stream —
+      // is unchanged.
+      config.channel = hop.channel;
+      config.schedule = hop.schedule;
+      net.add_link(path[h], path[h + 1], config);
+      config.channel.reset();
+      config.schedule.reset();
+      net.add_link(path[h + 1], path[h], config);
+    } else {
+      net.add_duplex_link(path[h], path[h + 1], config);
+    }
   }
 
   // Cross-traffic hosts hang off the two bottleneck routers via fast access
@@ -150,6 +170,13 @@ ScenarioResult run_chain(const ChainSpec& spec, const ProbePlan& plan,
   // default path, so default runs schedule exactly the same events.
   sim::Link& bneck_fwd = net.link(upstream, downstream);
   sim::Link& bneck_rev = net.link(downstream, upstream);
+  std::vector<SimTime> bneck_deliveries;
+  if (overrides.record_bottleneck_deliveries) {
+    bneck_fwd.add_delivery_hook(
+        [&bneck_deliveries](const sim::Packet&, SimTime at) {
+          bneck_deliveries.push_back(at);
+        });
+  }
   obs::MetricsRegistry registry;
   std::optional<obs::Sampler> sampler;
   if (overrides.obs_sample_interval) {
@@ -189,6 +216,7 @@ ScenarioResult run_chain(const ChainSpec& spec, const ProbePlan& plan,
   result.bottleneck_reverse = bneck_rev.stats();
   result.total_overflow_drops = net.total_overflow_drops();
   result.total_random_drops = net.total_random_drops();
+  result.total_channel_drops = net.total_channel_drops();
   result.hop_deliveries = net.total_delivered();
   result.simulated = end;
   result.events = simulator.events_dispatched();
@@ -196,6 +224,7 @@ ScenarioResult run_chain(const ChainSpec& spec, const ProbePlan& plan,
     result.metrics = registry.snapshot(simulator.now());
     result.series = sampler->snapshot();
   }
+  result.bottleneck_delivery_times = std::move(bneck_deliveries);
   return result;
 }
 
@@ -227,6 +256,12 @@ ChainSpec inria_umd_spec(const ScenarioOverrides& overrides) {
   }
   if (overrides.bottleneck_red) {
     spec.hops[spec.bottleneck_hop].red = *overrides.bottleneck_red;
+  }
+  if (overrides.bottleneck_channel) {
+    spec.hops[spec.bottleneck_hop].channel = overrides.bottleneck_channel;
+  }
+  if (overrides.bottleneck_schedule) {
+    spec.hops[spec.bottleneck_hop].schedule = overrides.bottleneck_schedule;
   }
   if (overrides.faulty_interface_drop) {
     spec.hops[6].random_drop = *overrides.faulty_interface_drop;
@@ -269,6 +304,12 @@ ChainSpec umd_pitt_spec(const ScenarioOverrides& overrides) {
   }
   if (overrides.bottleneck_red) {
     spec.hops[spec.bottleneck_hop].red = *overrides.bottleneck_red;
+  }
+  if (overrides.bottleneck_channel) {
+    spec.hops[spec.bottleneck_hop].channel = overrides.bottleneck_channel;
+  }
+  if (overrides.bottleneck_schedule) {
+    spec.hops[spec.bottleneck_hop].schedule = overrides.bottleneck_schedule;
   }
   if (overrides.faulty_interface_drop) {
     spec.hops[10].random_drop = *overrides.faulty_interface_drop;
@@ -350,6 +391,12 @@ ChainSpec inria_europe_spec(const ScenarioOverrides& overrides) {
   }
   if (overrides.bottleneck_red) {
     spec.hops[spec.bottleneck_hop].red = *overrides.bottleneck_red;
+  }
+  if (overrides.bottleneck_channel) {
+    spec.hops[spec.bottleneck_hop].channel = overrides.bottleneck_channel;
+  }
+  if (overrides.bottleneck_schedule) {
+    spec.hops[spec.bottleneck_hop].schedule = overrides.bottleneck_schedule;
   }
   if (overrides.faulty_interface_drop) {
     spec.hops[3].random_drop = *overrides.faulty_interface_drop;

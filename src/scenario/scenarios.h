@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -23,6 +24,7 @@
 #include "analysis/probe_trace.h"
 #include "obs/metrics.h"
 #include "obs/timeseries.h"
+#include "sim/channel.h"
 #include "sim/link.h"
 #include "sim/network.h"
 #include "util/time.h"
@@ -82,6 +84,17 @@ struct ScenarioOverrides {
   std::optional<Duration> obs_sample_interval;
   /// Per-series sample budget before decimation (see obs::TimeSeries).
   std::size_t obs_series_budget = 16384;
+  /// Correlated-loss channel on the *forward* direction of the bottleneck
+  /// link (probe direction; the reverse echo path stays ideal so measured
+  /// loss attributes cleanly to the modeled channel).  MODEL_NOTES §13.
+  std::optional<sim::MarkovChannelConfig> bottleneck_channel;
+  /// Trace-driven transmitter on the forward bottleneck direction: the
+  /// recorded delivery opportunities replace the constant-rate server.
+  std::shared_ptr<const sim::DeliverySchedule> bottleneck_schedule;
+  /// When true, the result carries the arrival time of every packet the
+  /// forward bottleneck link delivered — the raw material for recording a
+  /// DeliverySchedule from a simulated path (tools/channel_trace_record).
+  bool record_bottleneck_deliveries = false;
 };
 
 struct ScenarioResult {
@@ -91,6 +104,7 @@ struct ScenarioResult {
   sim::LinkStats bottleneck_reverse;
   std::uint64_t total_overflow_drops = 0;
   std::uint64_t total_random_drops = 0;
+  std::uint64_t total_channel_drops = 0;
   /// Per-link deliveries summed over every link (hop traversals); the
   /// datapath perf baseline divides this by wall time.
   std::uint64_t hop_deliveries = 0;
@@ -99,6 +113,9 @@ struct ScenarioResult {
   /// Filled only when ScenarioOverrides::obs_sample_interval is set.
   obs::MetricsSnapshot metrics;
   std::vector<obs::TimeSeries> series;
+  /// Filled only when ScenarioOverrides::record_bottleneck_deliveries is
+  /// set: far-end arrival times on the forward bottleneck link.
+  std::vector<SimTime> bottleneck_delivery_times;
 };
 
 /// Runs a NetDyn experiment over the INRIA -> UMd path of Table 1.

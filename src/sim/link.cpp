@@ -32,6 +32,15 @@ Link::Link(Simulator& sim, LinkConfig config, Rng drop_rng)
       throw std::invalid_argument("Link: malformed RED configuration");
     }
   }
+  if (config_.channel) {
+    // Split the channel's stream off the drop rng only when a channel is
+    // configured: channel-free links keep their exact pre-channel streams.
+    channel_.emplace(*config_.channel, drop_rng_.split());
+  }
+  if (config_.schedule) {
+    config_.schedule->validate();
+    schedule_ = config_.schedule.get();
+  }
   // The buffer bound is the high-water mark by construction, so the queue
   // ring never grows after this.  The flight ring starts small and reaches
   // its own high-water mark (propagation / service time) within the first
@@ -129,7 +138,7 @@ void Link::enqueue(Packet&& packet) {
   backlog_bytes_ += packet.size_bytes;
   queue_.push_back(std::move(packet));
   stats_.max_queue = std::max(stats_.max_queue, queue_.size());
-  if (!busy_ && !paused_) start_front_transmission(/*rearm=*/false);
+  if (!busy_ && !paused_) start_transmitter(/*rearm=*/false);
   audit_conservation();
 }
 
@@ -145,9 +154,17 @@ void Link::resume() {
   if (!paused_) return;
   paused_ = false;
   if (!busy_ && !queue_.empty()) {
-    start_front_transmission(/*rearm=*/false);
+    start_transmitter(/*rearm=*/false);
   } else if (queue_.empty()) {
     idle_since_ = sim_.now();  // reopen the serviceable-idle span
+  }
+}
+
+void Link::start_transmitter(bool rearm) {
+  if (schedule_) {
+    arm_opportunity(rearm);
+  } else {
+    start_front_transmission(rearm);
   }
 }
 
@@ -164,21 +181,46 @@ void Link::start_front_transmission(bool rearm) {
   }
 }
 
-void Link::on_transmission_complete() {
+void Link::complete_front() {
   Packet& done = queue_.front();
-  busy_ = false;
   backlog_bytes_ -= done.size_bytes;
+  Duration extra;
+  if (channel_) {
+    // The chain advances once per packet at the instant the transmitter
+    // finishes with it (MODEL_NOTES §13): drops and extra delay are
+    // decided here, after service, never perturbing queueing itself.
+    const MarkovChannel::Verdict verdict = channel_->advance();
+    if (verdict.drop) {
+      drop(std::move(done), DropCause::kChannel);
+      queue_.drop_front();
+      return;
+    }
+    extra = verdict.extra_delay;
+  }
   ++stats_.delivered;
   stats_.bytes_delivered += done.size_bytes;
-  const bool deliver = sink_ || delivery_hook_count_ > 0;
-  if (deliver) {
+  if (sink_ || delivery_hook_count_ > 0) {
     // Hand off to the propagation stage: constant delay means FIFO order,
     // so one ring + one outstanding arrival event replaces a per-packet
     // closure (MODEL_NOTES §10).  Moving straight from the queue slot
     // into the flight slot touches each Packet once.
-    flight_.push_back({sim_.now() + config_.propagation, std::move(done)});
+    SimTime arrive = sim_.now() + config_.propagation;
+    if (channel_) {
+      // Variable extra delay could reorder arrivals; clamp to the latest
+      // in-flight arrival so the single-event flight ring stays FIFO
+      // (a link does not reorder — late packets delay their successors).
+      arrive += extra;
+      if (arrive < last_flight_arrival_) arrive = last_flight_arrival_;
+      last_flight_arrival_ = arrive;
+    }
+    flight_.push_back({arrive, std::move(done)});
   }
   queue_.drop_front();
+}
+
+void Link::on_transmission_complete() {
+  busy_ = false;
+  complete_front();
   // Seq-claim order matters at timestamp ties: the next completion's
   // rearm must take its sequence number before the arrival schedule, as
   // in the uncoalesced datapath.
@@ -187,7 +229,68 @@ void Link::on_transmission_complete() {
   } else if (queue_.empty() && !paused_) {
     idle_since_ = sim_.now();  // queue just went serviceable-idle
   }
-  if (deliver && !arrival_armed_) arm_arrival(/*rearm=*/false);
+  if (!flight_.empty() && !arrival_armed_) arm_arrival(/*rearm=*/false);
+  audit_conservation();
+}
+
+void Link::arm_opportunity(bool rearm) {
+  // Opportunities that passed while the link idled are gone — the radio
+  // had those slots whether or not we had data (cellsim semantics).  Jump
+  // whole replay cycles first so a long idle span costs O(schedule), not
+  // O(missed opportunities).
+  const SimTime now = sim_.now();
+  SimTime at = schedule_->at(schedule_next_);
+  if (at < now) {
+    const std::int64_t period_ns = schedule_->period.count_nanos();
+    const std::int64_t cycles = (now - at).count_nanos() / period_ns;
+    if (cycles > 0) {
+      const std::uint64_t jump =
+          static_cast<std::uint64_t>(cycles) * schedule_->size();
+      schedule_next_ += jump;
+      stats_.wasted_opportunities += jump;
+      at = schedule_->at(schedule_next_);
+    }
+    while (at < now) {
+      ++schedule_next_;
+      ++stats_.wasted_opportunities;
+      at = schedule_->at(schedule_next_);
+    }
+  }
+  busy_ = true;
+  if (rearm) {
+    sim_.rearm_at(at);
+  } else {
+    sim_.schedule_at(at, [this] { on_opportunity(); });
+  }
+}
+
+void Link::on_opportunity() {
+  ++schedule_next_;
+  if (paused_) {
+    // A frozen gateway wastes the slot; resume() re-arms the replay.
+    ++stats_.wasted_opportunities;
+    busy_ = false;
+    return;
+  }
+  schedule_credit_bytes_ += schedule_->bytes_per_opportunity;
+  while (!queue_.empty() &&
+         queue_.front().size_bytes <= schedule_credit_bytes_) {
+    schedule_credit_bytes_ -= queue_.front().size_bytes;
+    complete_front();
+  }
+  if (queue_.empty()) {
+    // Leftover credit does not bank across idle spans: an opportunity is
+    // only worth something while there is data to send.
+    schedule_credit_bytes_ = 0;
+    busy_ = false;
+    idle_since_ = sim_.now();
+  } else {
+    // Same seq-claim discipline as the constant-rate path: the next
+    // opportunity's rearm takes its sequence number before the arrival
+    // schedule below.
+    arm_opportunity(/*rearm=*/true);
+  }
+  if (!flight_.empty() && !arrival_armed_) arm_arrival(/*rearm=*/false);
   audit_conservation();
 }
 
@@ -286,6 +389,45 @@ void Link::audit_verify() const {
             "Link %s: arrival event %s with %zu packets in flight",
             config_.name.c_str(), arrival_armed_ ? "armed" : "not armed",
             flight_.size());
+
+  // Channel-stage conservation: every packet the transmitter finished
+  // advanced the chain exactly once, so the per-state occupancy counters
+  // must sum to delivered + channel drops, and the per-state drop
+  // counters to the link's channel-drop stat.
+  if (channel_) {
+    channel_->audit_verify();
+    SIM_CHECK(channel_->total_packets() ==
+                  stats_.delivered + stats_.channel_drops,
+              "Link %s: channel advanced %llu times for %llu completions",
+              config_.name.c_str(),
+              static_cast<unsigned long long>(channel_->total_packets()),
+              static_cast<unsigned long long>(stats_.delivered +
+                                              stats_.channel_drops));
+    SIM_CHECK(channel_->total_drops() == stats_.channel_drops,
+              "Link %s: channel states dropped %llu, link counted %llu",
+              config_.name.c_str(),
+              static_cast<unsigned long long>(channel_->total_drops()),
+              static_cast<unsigned long long>(stats_.channel_drops));
+    if (!flight_.empty()) {
+      SIM_CHECK(flight_[flight_.size() - 1].arrive_at <= last_flight_arrival_,
+                "Link %s: FIFO clamp watermark behind the flight ring",
+                config_.name.c_str());
+    }
+  }
+
+  // Trace-driven transmitter: earned credit is spent eagerly on whole
+  // packets, so it can never go negative, and it is zeroed whenever the
+  // queue drains (credit never banks across idle spans).
+  if (schedule_) {
+    SIM_CHECK(schedule_credit_bytes_ >= 0,
+              "Link %s: negative delivery credit %lld",
+              config_.name.c_str(),
+              static_cast<long long>(schedule_credit_bytes_));
+    SIM_CHECK(!queue_.empty() || schedule_credit_bytes_ == 0,
+              "Link %s: %lld B credit banked across an idle span",
+              config_.name.c_str(),
+              static_cast<long long>(schedule_credit_bytes_));
+  }
 }
 
 void Link::publish_metrics(obs::MetricsRegistry& registry,
@@ -304,6 +446,8 @@ void Link::publish_metrics(obs::MetricsRegistry& registry,
                          [this] { return double(stats_.red_drops); });
   registry.probe_counter(prefix + ".drops_random",
                          [this] { return double(stats_.random_drops); });
+  registry.probe_counter(prefix + ".drops_channel",
+                         [this] { return double(stats_.channel_drops); });
   registry.probe_counter(prefix + ".drops",
                          [this] { return double(stats_.total_drops()); });
   registry.probe_gauge(prefix + ".queue_pkts",
@@ -319,6 +463,34 @@ void Link::publish_metrics(obs::MetricsRegistry& registry,
     registry.probe_gauge(prefix + ".red_avg_queue",
                          [this] { return red_avg_; });
   }
+  if (channel_) {
+    // Per-state occupancy and drop structure of the channel chain:
+    // "<prefix>.channel.s<i>.*" — occupancy is the fraction of served
+    // packets that advanced the chain while it sat in state i, so a
+    // Gilbert-Elliott channel's s1 occupancy estimates its stationary
+    // bad-state probability p/(p+q).
+    registry.probe_gauge(prefix + ".channel.state",
+                         [this] { return double(channel_->state()); });
+    for (std::size_t i = 0; i < channel_->state_count(); ++i) {
+      const std::string state_prefix =
+          prefix + ".channel.s" + std::to_string(i);
+      registry.probe_counter(state_prefix + ".packets", [this, i] {
+        return double(channel_->state_packets(i));
+      });
+      registry.probe_counter(state_prefix + ".drops", [this, i] {
+        return double(channel_->state_drops(i));
+      });
+      registry.probe_gauge(state_prefix + ".occupancy", [this, i] {
+        const double total = double(channel_->total_packets());
+        return total > 0.0 ? double(channel_->state_packets(i)) / total : 0.0;
+      });
+    }
+  }
+  if (schedule_) {
+    registry.probe_counter(prefix + ".wasted_opportunities", [this] {
+      return double(stats_.wasted_opportunities);
+    });
+  }
 }
 
 void Link::drop(Packet&& packet, DropCause cause) {
@@ -332,6 +504,9 @@ void Link::drop(Packet&& packet, DropCause cause) {
       break;
     case DropCause::kRed:
       ++stats_.red_drops;
+      break;
+    case DropCause::kChannel:
+      ++stats_.channel_drops;
       break;
   }
   for (std::uint8_t i = 0; i < drop_hook_count_; ++i) {

@@ -18,9 +18,11 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
+#include "sim/channel.h"
 #include "sim/packet.h"
 #include "sim/simulator.h"
 #include "util/inplace_function.h"
@@ -59,12 +61,22 @@ struct LinkConfig {
   std::size_t buffer_packets = 64;      // K, counting the packet in service
   double random_drop_probability = 0;   // faulty-interface loss, in [0, 1)
   std::optional<RedConfig> red;         // unset = pure drop-tail
+  /// Correlated loss/delay channel applied at transmission-complete time
+  /// (Gilbert-Elliott and general N-state Markov chains; MODEL_NOTES §13).
+  /// Unset = ideal channel, and the fast path is untouched.
+  std::optional<MarkovChannelConfig> channel;
+  /// Trace-driven transmitter: when set, the constant-rate server is
+  /// replaced by the recorded delivery opportunities (rate_bps is then
+  /// ignored).  Shared so a sweep can replay one loaded trace across many
+  /// links without copying it.
+  std::shared_ptr<const DeliverySchedule> schedule;
 };
 
 enum class DropCause : std::uint8_t {
   kOverflow,  // buffer full (drop-tail)
   kRandom,    // faulty-interface stage
   kRed,       // RED early drop
+  kChannel,   // Markov channel-model stage
 };
 
 struct LinkStats {
@@ -73,12 +85,21 @@ struct LinkStats {
   std::uint64_t overflow_drops = 0;  // buffer-full drops
   std::uint64_t random_drops = 0;    // faulty-interface drops
   std::uint64_t red_drops = 0;       // RED early drops
+  std::uint64_t channel_drops = 0;   // Markov channel-stage drops
   std::int64_t bytes_delivered = 0;
   std::size_t max_queue = 0;         // high-water mark incl. in service
-  Duration busy;                     // cumulative transmitter busy time
+  /// Cumulative transmitter busy time.  Constant-rate mode only: a
+  /// trace-driven transmitter has no service spans, so `busy` stays zero
+  /// there (utilization reads 0).
+  Duration busy;
+  /// Trace-driven mode only: delivery opportunities that fired with an
+  /// empty or paused queue and transmitted nothing (cellsim's wasted
+  /// opportunities).  Opportunities skipped while the link idled count
+  /// too — the radio had the slot either way.
+  std::uint64_t wasted_opportunities = 0;
 
   std::uint64_t total_drops() const {
-    return overflow_drops + random_drops + red_drops;
+    return overflow_drops + random_drops + red_drops + channel_drops;
   }
   double utilization(Duration elapsed) const {
     return elapsed.is_zero() ? 0.0 : busy / elapsed;
@@ -158,6 +179,13 @@ class Link {
   /// Current RED average queue estimate (0 when RED is off); for tests.
   double red_average_queue() const { return red_avg_; }
 
+  /// The runtime channel model, when one is configured (for tests and the
+  /// audit harness; scenario code reads loss structure from the stats).
+  const MarkovChannel* channel() const {
+    return channel_ ? &*channel_ : nullptr;
+  }
+  bool trace_driven() const { return schedule_ != nullptr; }
+
   /// Registers this link's observables with a MetricsRegistry, prefixed
   /// with `prefix` ("<prefix>.delivered", "<prefix>.drops_early", ...);
   /// an empty prefix means the link name.  The two directions of a duplex
@@ -197,10 +225,24 @@ class Link {
     Packet packet;
   };
 
+  /// Dispatches to the configured transmitter: constant-rate service
+  /// (start_front_transmission) or the trace-driven opportunity replay
+  /// (arm_opportunity).  Callers must have checked !busy_ && !paused_ and
+  /// a non-empty queue.
+  void start_transmitter(bool rearm);
   /// `rearm` is true only when called from the completion callback
   /// itself, where the event slot can be reused (Simulator::rearm_in).
   void start_front_transmission(bool rearm);
   void on_transmission_complete();
+  /// Retires queue_.front() through the channel stage: delivered packets
+  /// move to the flight ring (with any channel extra delay, FIFO-clamped),
+  /// channel-dropped ones take the drop path.  Shared by the constant-rate
+  /// completion event and the trace-driven opportunity drain.
+  void complete_front();
+  /// Trace-driven transmitter: schedules the next delivery opportunity at
+  /// or after now (earlier ones are wasted), marking the link busy.
+  void arm_opportunity(bool rearm);
+  void on_opportunity();
   /// Schedules the single outstanding arrival event for flight_.front();
   /// `rearm` is true only when called from the arrival callback itself.
   void arm_arrival(bool rearm);
@@ -211,6 +253,23 @@ class Link {
   Simulator& sim_;
   LinkConfig config_;
   Rng drop_rng_;
+  /// Channel model, engaged only when config_.channel is set.  Its rng is
+  /// split from drop_rng_ at construction *only in that case*, so
+  /// channel-free links draw the exact pre-channel random streams.
+  std::optional<MarkovChannel> channel_;
+  /// Borrowed from config_.schedule (non-null iff trace-driven).
+  const DeliverySchedule* schedule_ = nullptr;
+  /// Index of the next delivery opportunity to consider (monotone;
+  /// wraps through the schedule cyclically via DeliverySchedule::at).
+  std::uint64_t schedule_next_ = 0;
+  /// Bytes earned by past opportunities but not yet spent on the front
+  /// packet (cellsim's partial-packet carry).  Reset when the queue
+  /// drains: credit never accrues while there is nothing to send.
+  std::int64_t schedule_credit_bytes_ = 0;
+  /// Latest arrival time pushed to flight_; channel extra delay is
+  /// clamped to this so the in-flight ring stays FIFO (only maintained,
+  /// and only needed, when channel_ is engaged).
+  SimTime last_flight_arrival_;
   Sink sink_;
   std::array<DropHook, kMaxHooks> drop_hooks_;
   std::array<DeliveryHook, kMaxHooks> delivery_hooks_;

@@ -70,6 +70,10 @@ void DropMonitor::record(const Packet& packet, DropCause cause) {
       ++drops.red;
       ++aggregate_.red;
       break;
+    case DropCause::kChannel:
+      ++drops.channel;
+      ++aggregate_.channel;
+      break;
   }
 }
 
@@ -87,6 +91,8 @@ void DropMonitor::publish_metrics(obs::MetricsRegistry& registry,
                          [this] { return double(aggregate_.overflow); });
   registry.probe_counter(prefix + ".random",
                          [this] { return double(aggregate_.random); });
+  registry.probe_counter(prefix + ".channel",
+                         [this] { return double(aggregate_.channel); });
   registry.probe_counter(prefix + ".total",
                          [this] { return double(aggregate_.total()); });
 }

@@ -67,8 +67,9 @@ class DropMonitor {
     std::uint64_t overflow = 0;
     std::uint64_t random = 0;
     std::uint64_t red = 0;
+    std::uint64_t channel = 0;
 
-    std::uint64_t total() const { return overflow + random + red; }
+    std::uint64_t total() const { return overflow + random + red + channel; }
   };
 
   void attach(Link& link);
@@ -84,10 +85,11 @@ class DropMonitor {
   std::uint64_t drops_early() const { return aggregate_.red; }
   std::uint64_t drops_overflow() const { return aggregate_.overflow; }
   std::uint64_t drops_random() const { return aggregate_.random; }
+  std::uint64_t drops_channel() const { return aggregate_.channel; }
   const std::map<std::uint32_t, FlowDrops>& by_flow() const { return drops_; }
 
-  /// Registers "<prefix>.early", ".overflow", ".random", and ".total" as
-  /// snapshot-time probe counters.
+  /// Registers "<prefix>.early", ".overflow", ".random", ".channel", and
+  /// ".total" as snapshot-time probe counters.
   void publish_metrics(obs::MetricsRegistry& registry,
                        const std::string& prefix = "drops") const;
 

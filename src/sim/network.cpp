@@ -189,6 +189,12 @@ std::uint64_t Network::total_random_drops() const {
   return total;
 }
 
+std::uint64_t Network::total_channel_drops() const {
+  std::uint64_t total = 0;
+  for (const auto& dl : links_) total += dl.link->stats().channel_drops;
+  return total;
+}
+
 std::uint64_t Network::total_delivered() const {
   std::uint64_t total = 0;
   for (const auto& dl : links_) total += dl.link->stats().delivered;

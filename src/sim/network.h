@@ -77,6 +77,7 @@ class Network {
   /// Sum of drops over all links, split by cause.
   std::uint64_t total_overflow_drops() const;
   std::uint64_t total_random_drops() const;
+  std::uint64_t total_channel_drops() const;
   /// Sum of per-link deliveries (hop traversals, not end-to-end packets).
   std::uint64_t total_delivered() const;
   /// Packets dropped mid-path because no route existed (link failures).

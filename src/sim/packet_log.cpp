@@ -118,6 +118,9 @@ void PacketLog::write_csv(std::ostream& os) const {
         case DropCause::kRed:
           os << "red";
           break;
+        case DropCause::kChannel:
+          os << "channel";
+          break;
       }
     } else {
       os << '-';

@@ -116,6 +116,85 @@ TEST(GilbertFitTest, Validation) {
   EXPECT_THROW(fit_gilbert(pattern("x")), std::invalid_argument);
 }
 
+TEST(GilbertFitTest, AllLostIsDegenerateWithFullStationaryLoss) {
+  // Every conditioning pair starts lost, so q is measured as 0 and p is
+  // unidentifiable.  The fit pins p = 1 (stationary loss 1.0, matching
+  // the observation — not the old 0/0 = 0) and flags itself degenerate.
+  const GilbertFit fit = fit_gilbert(pattern("xxxx"));
+  EXPECT_TRUE(fit.degenerate);
+  EXPECT_EQ(fit.p, 1.0);
+  EXPECT_EQ(fit.q, 0.0);
+  EXPECT_EQ(fit.stationary_loss(), 1.0);
+  EXPECT_EQ(fit.conditional_loss(), 1.0);
+}
+
+TEST(GilbertFitTest, NoLossesIsDegenerateWithZeroStationaryLoss) {
+  const GilbertFit fit = fit_gilbert(pattern("....."));
+  EXPECT_TRUE(fit.degenerate);
+  EXPECT_EQ(fit.p, 0.0);
+  EXPECT_EQ(fit.q, 1.0);
+  EXPECT_EQ(fit.stationary_loss(), 0.0);
+}
+
+TEST(GilbertFitTest, NonDegenerateSequencesAreNotFlagged) {
+  EXPECT_FALSE(fit_gilbert(pattern(".xx.x.")).degenerate);
+}
+
+TEST(LossGapTest, EstimatorsAgreeOnStationaryTraces) {
+  Rng rng(53);
+  std::vector<std::uint8_t> losses;
+  bool lost = false;
+  for (int i = 0; i < 400000; ++i) {
+    lost = lost ? rng.chance(0.5) : rng.chance(0.04);
+    losses.push_back(lost ? 1 : 0);
+  }
+  const LossGapEstimate gap = loss_stats(losses).loss_gap();
+  EXPECT_TRUE(gap.consistent);
+  EXPECT_NEAR(gap.from_clp, gap.from_bursts, 0.1 * gap.from_bursts);
+  EXPECT_NEAR(gap.from_bursts, 2.0, 0.1);  // mean run of a q = 0.5 chain
+}
+
+TEST(LossGapTest, ClpSaturationFlagsInconsistent) {
+  // "..xx": the only conditioning pair is lost->lost, so clp = 1 and
+  // 1/(1-clp) diverges, while the burst estimator stays finite at 2.
+  const auto s = loss_stats(pattern("..xx"));
+  const LossGapEstimate gap = s.loss_gap();
+  EXPECT_TRUE(std::isinf(gap.from_clp));
+  EXPECT_DOUBLE_EQ(gap.from_bursts, 2.0);
+  EXPECT_FALSE(gap.consistent);
+}
+
+TEST(LossGapTest, NoLossesIsInconsistent) {
+  EXPECT_FALSE(loss_stats(pattern("....")).loss_gap().consistent);
+}
+
+TEST(GilbertFitTest, FitGenerateFitRecoversParametersAtMillionScale) {
+  // Property pinning the whole loop the channel models rely on: fit a
+  // measured sequence, generate 10^6 indicators from the fit, and the
+  // re-fit recovers p, q, and the stationary loss to within tight
+  // sampling error.
+  Rng source(59);
+  std::vector<std::uint8_t> measured;
+  bool lost = false;
+  for (int i = 0; i < 200000; ++i) {
+    lost = lost ? !source.chance(0.25) : source.chance(0.015);
+    measured.push_back(lost ? 1 : 0);
+  }
+  const GilbertFit fit = fit_gilbert(measured);
+  ASSERT_FALSE(fit.degenerate);
+
+  Rng rng(61);
+  const auto regenerated = generate_gilbert(fit, 1000000, rng);
+  const GilbertFit refit = fit_gilbert(regenerated);
+  EXPECT_NEAR(refit.p, fit.p, 0.1 * fit.p);
+  EXPECT_NEAR(refit.q, fit.q, 0.05 * fit.q);
+  const auto stats = loss_stats(regenerated);
+  EXPECT_NEAR(stats.ulp, fit.stationary_loss(),
+              0.05 * fit.stationary_loss());
+  EXPECT_NEAR(stats.clp, fit.conditional_loss(), 0.01);
+  EXPECT_NEAR(stats.mean_burst_length, 1.0 / fit.q, 0.05 / fit.q);
+}
+
 TEST(RunsTestTest, RandomSequenceNearZero) {
   Rng rng(41);
   std::vector<std::uint8_t> losses;

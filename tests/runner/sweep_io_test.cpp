@@ -4,6 +4,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 
@@ -91,6 +92,60 @@ TEST(SweepIoTest, EmptySweepIsValid) {
   EXPECT_NE(json.find("\"runs\": []"), std::string::npos);
   EXPECT_EQ(sweep_to_csv(sweep, SweepIoOptions::deterministic()),
             "index,label,seed,failed\n");
+}
+
+TEST(SweepIoTest, NonFiniteMetricsSerializeAsJsonNull) {
+  // Regression: std::to_chars happily renders inf/nan tokens, which are
+  // not JSON — a loss sweep hitting clp == 1 (plg = 1/(1-clp) = inf) used
+  // to corrupt its BENCH_*.json artifact.  Non-finite values must come
+  // out as null, never as an inf/nan token.
+  SweepResult sweep;
+  sweep.name = "saturated";
+  RunResult run;
+  run.index = 0;
+  run.label = "clp=1";
+  run.params = {{"delta_ms", 8.0}};
+  run.metrics = {{"ulp", 1.0},
+                 {"clp", 1.0},
+                 {"plg", std::numeric_limits<double>::infinity()},
+                 {"neg", -std::numeric_limits<double>::infinity()},
+                 {"runs_z", std::numeric_limits<double>::quiet_NaN()}};
+  sweep.runs.push_back(run);
+
+  const std::string json = sweep_to_json(sweep);
+  EXPECT_NE(json.find("\"plg\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"neg\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"runs_z\": null"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  // Finite neighbors are untouched.
+  EXPECT_NE(json.find("\"clp\": 1"), std::string::npos);
+
+  const std::string csv = sweep_to_csv(sweep, SweepIoOptions::deterministic());
+  EXPECT_EQ(csv.find("inf"), std::string::npos);
+  EXPECT_EQ(csv.find("nan"), std::string::npos);
+  EXPECT_NE(csv.find(",null"), std::string::npos);
+}
+
+TEST(SweepIoTest, NonFiniteSweepRoundTripsThroughArtifacts) {
+  // End-to-end shape of the original failure: write the artifact pair for
+  // a sweep whose metrics include inf, and check the file on disk carries
+  // the null (what CI's `python -m json.tool` pass validates).
+  namespace fs = std::filesystem;
+  SweepResult sweep;
+  sweep.name = "allloss";
+  RunResult run;
+  run.metrics = {{"plg", std::numeric_limits<double>::infinity()}};
+  sweep.runs.push_back(run);
+  const fs::path dir = fs::temp_directory_path() / "bolot_sweep_nonfinite";
+  fs::remove_all(dir);
+  const std::string json_path = write_sweep_artifacts(sweep, dir);
+  std::ifstream in(json_path);
+  std::stringstream body;
+  body << in.rdbuf();
+  EXPECT_NE(body.str().find("\"plg\": null"), std::string::npos);
+  EXPECT_EQ(body.str().find("inf"), std::string::npos);
+  fs::remove_all(dir);
 }
 
 TEST(SweepIoTest, WriteArtifactsCreatesJsonAndCsv) {

@@ -1,7 +1,9 @@
 // Randomized audit fuzz: ~50 seeded random topologies (1-5 hops, mixed
-// drop-tail/RED queues, faulty-interface stages, UDP probes + closed-loop
-// TCP + open-loop cross traffic) driven with every deep invariant walk
-// enabled, with each topology run twice from the same seed.
+// drop-tail/RED queues, faulty-interface stages, Markov loss channels
+// (Gilbert-Elliott and random 3-state chains with delay jitter),
+// trace-driven transmitters, UDP probes + closed-loop TCP + open-loop
+// cross traffic) driven with every deep invariant walk enabled, with each
+// topology run twice from the same seed.
 //
 // The test asserts two distinct properties the figures depend on:
 //
@@ -20,12 +22,14 @@
 // report instead of aborting the whole binary.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "sim/channel.h"
 #include "sim/network.h"
 #include "sim/packet_log.h"
 #include "sim/simulator.h"
@@ -108,6 +112,51 @@ FuzzOutcome run_topology(std::uint64_t seed) {
       red.weight = 0.002 + 0.02 * rng.uniform();
       red.max_probability = 0.02 + 0.15 * rng.uniform();
       cfg.red = red;
+    }
+    if (rng.chance(0.25)) {
+      // Correlated-loss channel, half Gilbert-Elliott, half a random
+      // 3-state chain with per-state extra delay and jitter.
+      if (rng.chance(0.5)) {
+        cfg.channel = MarkovChannelConfig::gilbert_elliott(
+            0.005 + 0.1 * rng.uniform(), 0.1 + 0.5 * rng.uniform(),
+            /*good_drop=*/0.0, /*bad_drop=*/0.3 + 0.7 * rng.uniform(),
+            Duration::millis(rng.uniform(0.0, 4.0)));
+      } else {
+        MarkovChannelConfig channel;
+        for (int s = 0; s < 3; ++s) {
+          ChannelState state;
+          state.drop_probability = rng.uniform(0.0, 0.6);
+          state.extra_delay = Duration::millis(rng.uniform(0.0, 2.0));
+          if (rng.chance(0.5)) {
+            state.extra_delay_jitter = Duration::millis(rng.uniform(0.0, 2.0));
+          }
+          channel.states.push_back(state);
+        }
+        for (int row = 0; row < 3; ++row) {
+          double weights[3];
+          double sum = 0.0;
+          for (double& w : weights) sum += (w = 0.05 + rng.uniform());
+          for (double w : weights) channel.transitions.push_back(w / sum);
+        }
+        channel.initial_state = rng.uniform_int(3);
+        cfg.channel = std::move(channel);
+      }
+    } else if (rng.chance(0.2)) {
+      // Trace-driven transmitter replacing the constant-rate server on
+      // both directions of this hop.
+      auto schedule = std::make_shared<DeliverySchedule>();
+      const double period_ms = 6.0 + rng.uniform(0.0, 6.0);
+      const std::size_t slots = 4 + rng.uniform_int(8);
+      for (std::size_t s = 0; s < slots; ++s) {
+        schedule->opportunities.push_back(
+            Duration::millis(rng.uniform(0.0, period_ms * 0.95)));
+      }
+      std::sort(schedule->opportunities.begin(),
+                schedule->opportunities.end());
+      schedule->period = Duration::millis(period_ms);
+      schedule->bytes_per_opportunity =
+          600 + static_cast<std::int64_t>(rng.uniform_int(1200));
+      cfg.schedule = std::move(schedule);
     }
     audited.push_back(&net.add_duplex_link(path[i], path[i + 1], cfg));
   }
@@ -202,6 +251,8 @@ FuzzOutcome run_topology(std::uint64_t seed) {
     digest.mix(stats.overflow_drops);
     digest.mix(stats.random_drops);
     digest.mix(stats.red_drops);
+    digest.mix(stats.channel_drops);
+    digest.mix(stats.wasted_opportunities);
     digest.mix(static_cast<std::uint64_t>(stats.bytes_delivered));
     digest.mix(stats.max_queue);
     digest.mix_time(stats.busy);

@@ -22,6 +22,10 @@ def load_runs(path):
 
 
 def fmt(value):
+    # Non-finite metrics are exported as JSON null (see src/runner/sweep_io.cpp);
+    # they carry no comparable magnitude.
+    if value is None:
+        return "null"
     if value == int(value) and abs(value) >= 1000:
         return f"{value:,.0f}"
     return f"{value:.6g}"
@@ -50,7 +54,7 @@ def main(argv):
                 print(f"{key:<{width}}  {fmt(value):>14}  (new metric)")
                 continue
             before = base[name]
-            if before == 0:
+            if before is None or value is None or before == 0:
                 delta = "n/a"
             else:
                 delta = f"{100.0 * (value - before) / before:+.1f}%"
