@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <map>
 #include <stdexcept>
 #include <utility>
 
@@ -130,6 +131,50 @@ MetricsSnapshot MetricsRegistry::snapshot(SimTime at) {
     snap.entries.push_back(std::move(entry));
   }
   return snap;
+}
+
+MetricsSnapshot merge_snapshots(const std::vector<MetricsSnapshot>& parts) {
+  MetricsSnapshot merged;
+  std::map<std::string, std::size_t, std::less<>> entry_index;
+  std::map<std::string, std::size_t, std::less<>> hist_index;
+  for (const MetricsSnapshot& part : parts) {
+    if (part.at > merged.at) merged.at = part.at;
+    for (const SnapshotEntry& entry : part.entries) {
+      const auto it = entry_index.find(entry.name);
+      if (it == entry_index.end()) {
+        entry_index.emplace(entry.name, merged.entries.size());
+        merged.entries.push_back(entry);
+        continue;
+      }
+      SnapshotEntry& into = merged.entries[it->second];
+      if (into.kind != entry.kind) {
+        throw std::invalid_argument("merge_snapshots: kind mismatch for " +
+                                    entry.name);
+      }
+      // Counters (and histogram totals) accumulate across shards; a gauge
+      // keeps the first shard's level (see the header).
+      if (into.kind != MetricKind::kGauge) into.value += entry.value;
+    }
+    for (const auto& [name, cells] : part.histograms) {
+      const auto it = hist_index.find(name);
+      if (it == hist_index.end()) {
+        hist_index.emplace(name, merged.histograms.size());
+        merged.histograms.emplace_back(name, cells);
+        continue;
+      }
+      HistogramCells& into = merged.histograms[it->second].second;
+      if (into.upper_edges != cells.upper_edges) {
+        throw std::invalid_argument(
+            "merge_snapshots: histogram edge mismatch for " + name);
+      }
+      for (std::size_t i = 0; i < into.counts.size(); ++i) {
+        into.counts[i] += cells.counts[i];
+      }
+      into.total += cells.total;
+      into.sum += cells.sum;
+    }
+  }
+  return merged;
 }
 
 }  // namespace bolot::obs

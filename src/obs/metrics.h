@@ -126,6 +126,16 @@ struct MetricsSnapshot {
   const double* value(std::string_view name) const;
 };
 
+/// Merges per-shard snapshots (e.g. one MetricsRegistry per PDES domain,
+/// each publishing its own links) into a single view: counters and
+/// histogram cells with the same name are summed, gauges keep the first
+/// shard's value (a level like utilization has no meaningful cross-shard
+/// sum — publish shard-unique names when each level matters).  Entry
+/// order is first-appearance order, so equal shard layouts serialize
+/// deterministically.  Histogram edge mismatches for one name throw
+/// std::invalid_argument.  `at` of the result is the max over parts.
+MetricsSnapshot merge_snapshots(const std::vector<MetricsSnapshot>& parts);
+
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;

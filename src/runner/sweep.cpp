@@ -1,6 +1,7 @@
 #include "runner/sweep.h"
 
 #include <chrono>
+#include <optional>
 #include <stdexcept>
 
 #include "analysis/loss.h"
@@ -58,7 +59,15 @@ SweepResult run_sweep(const std::vector<RunSpec>& specs, const SweepJob& job,
   sweep.base_seed = options.base_seed;
   sweep.runs.resize(specs.size());
 
-  ThreadPool pool(options.threads);
+  // threads == 0 (the default) fans out on the process-wide shared pool —
+  // reused across sweeps, and the same workers PDES domains borrow — via
+  // a TaskGroup, which scopes completion and errors to this sweep.  An
+  // explicit thread count still gets a private pool (benches use
+  // threads=1 for undisturbed timing).
+  std::optional<ThreadPool> own_pool;
+  if (options.threads != 0) own_pool.emplace(options.threads);
+  ThreadPool& pool = own_pool ? *own_pool : shared_pool();
+  TaskGroup group(pool);
   sweep.threads = pool.thread_count();
   // Result-slot write-once discipline: slot i is written by exactly one
   // job, exactly once.  Each counter has a single writer (its own job),
@@ -68,7 +77,7 @@ SweepResult run_sweep(const std::vector<RunSpec>& specs, const SweepJob& job,
   for (std::size_t i = 0; i < specs.size(); ++i) {
     // Each task owns result slot i exclusively, so no synchronization
     // beyond the pool's completion barrier is needed.
-    pool.submit([&, i] {
+    group.submit([&, i] {
       ++slot_writes[i];
       RunResult& run = sweep.runs[i];
       run.index = i;
@@ -89,7 +98,7 @@ SweepResult run_sweep(const std::vector<RunSpec>& specs, const SweepJob& job,
       run.wall_seconds = elapsed_seconds(run_start);
     });
   }
-  pool.wait_idle();
+  group.wait();
   for (std::size_t i = 0; i < slot_writes.size(); ++i) {
     SIM_CHECK(slot_writes[i] == 1,
               "run_sweep(%s): result slot %zu written %u times (seed "

@@ -8,6 +8,7 @@
 #include "nettime/clock.h"
 #include "obs/sampler.h"
 #include "obs/trace.h"
+#include "sim/pdes.h"
 #include "sim/simulator.h"
 #include "sim/traffic.h"
 #include "sim/udp_echo.h"
@@ -43,6 +44,27 @@ struct ChainSpec {
 constexpr Duration kWarmup = Duration::seconds(5);
 constexpr Duration kDrain = Duration::seconds(2);
 
+/// Effective PDES domain count for a chain run: the requested count,
+/// clamped to the path length, with fallback to 1 (sequential) when the
+/// sampler is on (it reads state across the whole topology) or when any
+/// cut hop would have zero propagation delay (zero lookahead; MODEL_NOTES
+/// §14).  The partition is contiguous blocks of path nodes — path node i
+/// goes to domain i*d/n — so only chain hops can be cut; cross-traffic
+/// hosts ride with their router over never-cut access links.
+std::size_t effective_domains(const ChainSpec& spec,
+                              const ScenarioOverrides& overrides) {
+  std::size_t domains = std::max<std::size_t>(1, overrides.domains);
+  domains = std::min(domains, spec.names.size());
+  if (domains == 1) return 1;
+  if (overrides.obs_sample_interval) return 1;
+  const std::size_t n = spec.names.size();
+  for (std::size_t h = 0; h < spec.hops.size(); ++h) {
+    const bool cut = h * domains / n != (h + 1) * domains / n;
+    if (cut && spec.hops[h].propagation <= Duration::zero()) return 1;
+  }
+  return domains;
+}
+
 ScenarioResult run_chain(const ChainSpec& spec, const ProbePlan& plan,
                          const CrossTraffic& cross,
                          const ScenarioOverrides& overrides) {
@@ -51,7 +73,27 @@ ScenarioResult run_chain(const ChainSpec& spec, const ProbePlan& plan,
     throw std::invalid_argument("run_chain: inconsistent chain spec");
   }
 
-  sim::Simulator simulator;
+  // One Simulator per PDES domain; with one domain this is exactly the
+  // sequential kernel (psim stays empty, no channels, no threads).
+  // Construction below is shared between both paths and single-threaded;
+  // only the Simulator& each link/source binds to differs, so the
+  // network's rng split order — and with it every random stream — is
+  // identical whichever kernel runs.
+  const std::size_t n_path = spec.names.size();
+  const std::size_t domains = effective_domains(spec, overrides);
+  const auto path_domain = [&](std::size_t i) { return i * domains / n_path; };
+  std::optional<sim::ParallelSimulation> psim;
+  std::optional<sim::Simulator> seq;
+  if (domains > 1) {
+    psim.emplace(domains);
+  } else {
+    seq.emplace();
+  }
+  const auto sim_of = [&](std::size_t domain) -> sim::Simulator& {
+    return psim ? psim->simulator(domain) : *seq;
+  };
+
+  sim::Simulator& simulator = sim_of(0);  // domain of the probe source
   sim::Network net(simulator, plan.seed);
 
   // Path nodes and links.
@@ -67,6 +109,9 @@ ScenarioResult run_chain(const ChainSpec& spec, const ProbePlan& plan,
     config.buffer_packets = hop.buffer_packets;
     config.random_drop_probability = hop.random_drop;
     config.red = hop.red;
+    // A link lives in the domain of the node whose queue it drains.
+    sim::Simulator& fwd_sim = sim_of(path_domain(h));
+    sim::Simulator& rev_sim = sim_of(path_domain(h + 1));
     if (hop.channel || hop.schedule) {
       // Channel stages are forward-only (see HopSpec), so the duplex pair
       // becomes two directed links with asymmetric configs.  Forward
@@ -75,12 +120,12 @@ ScenarioResult run_chain(const ChainSpec& spec, const ProbePlan& plan,
       // is unchanged.
       config.channel = hop.channel;
       config.schedule = hop.schedule;
-      net.add_link(path[h], path[h + 1], config);
+      net.add_link(path[h], path[h + 1], config, fwd_sim);
       config.channel.reset();
       config.schedule.reset();
-      net.add_link(path[h + 1], path[h], config);
+      net.add_link(path[h + 1], path[h], config, rev_sim);
     } else {
-      net.add_duplex_link(path[h], path[h + 1], config);
+      net.add_duplex_link(path[h], path[h + 1], config, fwd_sim, rev_sim);
     }
   }
 
@@ -97,15 +142,18 @@ ScenarioResult run_chain(const ChainSpec& spec, const ProbePlan& plan,
   access.buffer_packets = 2000;
   const sim::NodeId host_up = net.add_node("cross-host-upstream");
   const sim::NodeId host_down = net.add_node("cross-host-downstream");
-  net.add_duplex_link(host_up, upstream, access);
-  net.add_duplex_link(host_down, downstream, access);
+  // Hosts ride with their router's domain, so access links are never cut.
+  sim::Simulator& up_sim = sim_of(path_domain(spec.bottleneck_hop));
+  sim::Simulator& down_sim = sim_of(path_domain(spec.bottleneck_hop + 1));
+  net.add_duplex_link(host_up, upstream, access, up_sim, up_sim);
+  net.add_duplex_link(host_down, downstream, access, down_sim, down_sim);
 
   Rng rng(plan.seed ^ 0xC0FFEE);
   std::vector<std::unique_ptr<sim::TrafficSource>> sources;
   std::uint32_t next_flow = 1;
 
-  const auto add_direction = [&](sim::NodeId from, sim::NodeId to,
-                                 double scale) {
+  const auto add_direction = [&](sim::Simulator& src_sim, sim::NodeId from,
+                                 sim::NodeId to, double scale) {
     const double session_bps = cross.session_load * mu * scale;
     if (session_bps > 0.0) {
       sim::FtpSessionConfig session;
@@ -120,7 +168,7 @@ ScenarioResult run_chain(const ChainSpec& spec, const ProbePlan& plan,
       session.mean_idle =
           cross.mean_session * ((1.0 - on_fraction) / on_fraction);
       sources.push_back(std::make_unique<sim::FtpSessionSource>(
-          simulator, net, from, to, next_flow++, sim::PacketKind::kBulk,
+          src_sim, net, from, to, next_flow++, sim::PacketKind::kBulk,
           rng.split(), session));
     }
     const double bulk_bps = cross.bulk_load * mu * scale;
@@ -137,7 +185,7 @@ ScenarioResult run_chain(const ChainSpec& spec, const ProbePlan& plan,
       burst.in_burst_spacing = transmission_time(
           cross.bulk_packet_bytes * 8, access.rate_bps);
       sources.push_back(std::make_unique<sim::BurstSource>(
-          simulator, net, from, to, next_flow++, sim::PacketKind::kBulk,
+          src_sim, net, from, to, next_flow++, sim::PacketKind::kBulk,
           rng.split(), burst));
     }
     const double interactive_bps = cross.interactive_load * mu * scale;
@@ -145,17 +193,18 @@ ScenarioResult run_chain(const ChainSpec& spec, const ProbePlan& plan,
       const double pkt_bits =
           static_cast<double>(cross.interactive_packet_bytes * 8);
       sources.push_back(std::make_unique<sim::PoissonSource>(
-          simulator, net, from, to, next_flow++,
+          src_sim, net, from, to, next_flow++,
           sim::PacketKind::kInteractive, rng.split(),
           Duration::seconds(pkt_bits / interactive_bps),
           cross.interactive_packet_bytes));
     }
   };
-  add_direction(host_up, host_down, 1.0);
-  add_direction(host_down, host_up, cross.reverse_scale);
+  add_direction(up_sim, host_up, host_down, 1.0);
+  add_direction(down_sim, host_down, host_up, cross.reverse_scale);
 
-  // NetDyn endpoints: source at the head of the chain, echo at the tail.
-  sim::EchoHost echo(simulator, net, path.back());
+  // NetDyn endpoints: source at the head of the chain (domain 0), echo at
+  // the tail (the last domain).
+  sim::EchoHost echo(sim_of(path_domain(n_path - 1)), net, path.back());
   sim::ProbeSourceConfig probe_config;
   probe_config.delta = plan.delta;
   probe_config.probe_wire_bytes = plan.probe_wire_bytes;
@@ -198,6 +247,18 @@ ScenarioResult run_chain(const ChainSpec& spec, const ProbePlan& plan,
   }
 
   net.compute_routes();
+  if (psim) {
+    // Map every node to its domain (add_node order: path, then the two
+    // cross hosts) and wire the cut links to handoff channels.
+    std::vector<std::size_t> node_domain;
+    node_domain.reserve(net.node_count());
+    for (std::size_t i = 0; i < n_path; ++i) {
+      node_domain.push_back(path_domain(i));
+    }
+    node_domain.push_back(path_domain(spec.bottleneck_hop));      // host_up
+    node_domain.push_back(path_domain(spec.bottleneck_hop + 1));  // host_down
+    psim->attach(net, node_domain);
+  }
   for (auto& source : sources) {
     // Stagger starts so sources do not phase-lock on the first event.
     source->start(Duration::millis(rng.uniform(0.0, 100.0)));
@@ -206,7 +267,11 @@ ScenarioResult run_chain(const ChainSpec& spec, const ProbePlan& plan,
   if (sampler) sampler->start(kWarmup);
 
   const Duration end = kWarmup + plan.duration + kDrain;
-  simulator.run_until(end);
+  if (psim) {
+    psim->run_until(end);
+  } else {
+    simulator.run_until(end);
+  }
   if (sampler) sampler->stop();
 
   ScenarioResult result;
@@ -219,7 +284,9 @@ ScenarioResult run_chain(const ChainSpec& spec, const ProbePlan& plan,
   result.total_channel_drops = net.total_channel_drops();
   result.hop_deliveries = net.total_delivered();
   result.simulated = end;
-  result.events = simulator.events_dispatched();
+  result.events = psim ? psim->events_dispatched()
+                       : simulator.events_dispatched();
+  result.domains_used = domains;
   if (sampler) {
     result.metrics = registry.snapshot(simulator.now());
     result.series = sampler->snapshot();

@@ -95,6 +95,15 @@ struct ScenarioOverrides {
   /// forward bottleneck link delivered — the raw material for recording a
   /// DeliverySchedule from a simulated path (tools/channel_trace_record).
   bool record_bottleneck_deliveries = false;
+  /// Shard the run across this many PDES domains (sim/pdes.h): the path
+  /// is cut into contiguous node blocks, cross-traffic hosts ride with
+  /// their router, and cut hops must have positive propagation delay.
+  /// The event stream is that of the sequential kernel; see MODEL_NOTES
+  /// §14.  Clamped to the path length; falls back to 1 when a cut hop
+  /// would have zero lookahead or when obs_sample_interval is set (the
+  /// sampler reads state across the whole topology).  Default 1 keeps
+  /// every default output byte-identical to the sequential kernel.
+  std::size_t domains = 1;
 };
 
 struct ScenarioResult {
@@ -110,6 +119,9 @@ struct ScenarioResult {
   std::uint64_t hop_deliveries = 0;
   Duration simulated;
   std::uint64_t events = 0;
+  /// Domains the run actually used after the fallback rules (see
+  /// ScenarioOverrides::domains); 1 means the sequential kernel ran.
+  std::size_t domains_used = 1;
   /// Filled only when ScenarioOverrides::obs_sample_interval is set.
   obs::MetricsSnapshot metrics;
   std::vector<obs::TimeSeries> series;

@@ -199,7 +199,20 @@ void Link::complete_front() {
   }
   ++stats_.delivered;
   stats_.bytes_delivered += done.size_bytes;
-  if (sink_ || delivery_hook_count_ > 0) {
+  if (remote_egress_) {
+    // Domain boundary: the propagation span is carried by the cross-domain
+    // channel, not the flight ring.  Arrival-time math (including the
+    // channel-stage FIFO clamp) is identical to the local path below, so
+    // the receiving domain sees the same timestamps the sequential kernel
+    // would have produced.
+    SimTime arrive = sim_.now() + config_.propagation;
+    if (channel_) {
+      arrive += extra;
+      if (arrive < last_flight_arrival_) arrive = last_flight_arrival_;
+      last_flight_arrival_ = arrive;
+    }
+    remote_egress_(arrive, std::move(done));
+  } else if (sink_ || delivery_hook_count_ > 0) {
     // Hand off to the propagation stage: constant delay means FIFO order,
     // so one ring + one outstanding arrival event replaces a per-packet
     // closure (MODEL_NOTES §10).  Moving straight from the queue slot

@@ -126,6 +126,12 @@ class Link {
   /// even on links without a sink (instrumented dead-ends).
   using DeliveryHook =
       util::InplaceFunction<void(const Packet&, SimTime at), kHookCapacity>;
+  /// PDES boundary egress (see sim/pdes.h): called at transmission-complete
+  /// time with the packet and its computed far-end arrival time, instead of
+  /// pushing onto the local flight ring.  The receiving domain later feeds
+  /// the packet back through deliver_remote().
+  using RemoteEgress =
+      util::InplaceFunction<void(SimTime arrive, Packet&&), kHookCapacity>;
 
   Link(Simulator& sim, LinkConfig config, Rng drop_rng);
 
@@ -152,6 +158,29 @@ class Link {
   /// Replaces the whole chain with the given hook (empty hook = clear).
   void set_drop_hook(DropHook hook);
   void set_delivery_hook(DeliveryHook hook);
+
+  /// Marks this link as a PDES domain boundary: packets leaving the
+  /// transmitter are handed to `egress` (stamped with their arrival time)
+  /// instead of the local flight ring.  The propagation span then lives in
+  /// the cross-domain channel, which is exactly what gives the receiving
+  /// domain its lookahead.  Sending-side stages (queue, transmitter,
+  /// channel model, drop hooks, FIFO clamp) are untouched; delivery hooks
+  /// and the sink fire on the receiving side via deliver_remote().
+  void set_remote_egress(RemoteEgress egress) {
+    remote_egress_ = std::move(egress);
+  }
+  bool has_remote_egress() const { return bool(remote_egress_); }
+
+  /// Receiving-domain half of a boundary link: runs the delivery hooks and
+  /// the sink for a packet that crossed via the remote egress.  Must be
+  /// called from within an event dispatched at `at` in the receiving
+  /// domain (Simulator::dispatch_external).
+  void deliver_remote(SimTime at, Packet&& packet) {
+    for (std::uint8_t i = 0; i < delivery_hook_count_; ++i) {
+      delivery_hooks_[i](packet, at);
+    }
+    if (sink_) sink_(std::move(packet));
+  }
 
   const LinkConfig& config() const { return config_; }
   const LinkStats& stats() const { return stats_; }
@@ -271,6 +300,7 @@ class Link {
   /// and only needed, when channel_ is engaged).
   SimTime last_flight_arrival_;
   Sink sink_;
+  RemoteEgress remote_egress_;
   std::array<DropHook, kMaxHooks> drop_hooks_;
   std::array<DeliveryHook, kMaxHooks> delivery_hooks_;
   std::uint8_t drop_hook_count_ = 0;

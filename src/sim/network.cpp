@@ -28,10 +28,15 @@ NodeId Network::find_node(const std::string& name) const {
 }
 
 Link& Network::add_link(NodeId a, NodeId b, const LinkConfig& config) {
+  return add_link(a, b, config, sim_);
+}
+
+Link& Network::add_link(NodeId a, NodeId b, const LinkConfig& config,
+                        Simulator& sim) {
   if (a >= nodes_.size() || b >= nodes_.size() || a == b) {
     throw std::invalid_argument("Network: bad link endpoints");
   }
-  auto link = std::make_unique<Link>(sim_, config, rng_.split());
+  auto link = std::make_unique<Link>(sim, config, rng_.split());
   Link& ref = *link;
   // The link's sink hands the packet to the downstream node.
   ref.set_sink([this, b](Packet&& p) { deliver(b, std::move(p)); });
@@ -41,8 +46,13 @@ Link& Network::add_link(NodeId a, NodeId b, const LinkConfig& config) {
 }
 
 Link& Network::add_duplex_link(NodeId a, NodeId b, const LinkConfig& config) {
-  Link& forward_link = add_link(a, b, config);
-  add_link(b, a, config);
+  return add_duplex_link(a, b, config, sim_, sim_);
+}
+
+Link& Network::add_duplex_link(NodeId a, NodeId b, const LinkConfig& config,
+                               Simulator& fwd_sim, Simulator& rev_sim) {
+  Link& forward_link = add_link(a, b, config, fwd_sim);
+  add_link(b, a, config, rev_sim);
   return forward_link;
 }
 
@@ -132,7 +142,7 @@ void Network::forward(NodeId at, Packet&& packet) {
       throw std::runtime_error("Network: no route from " + nodes_[at].name +
                                " to " + nodes_[packet.dst].name);
     }
-    ++unroutable_drops_;
+    unroutable_drops_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   links_[static_cast<std::size_t>(i)].link->enqueue(std::move(packet));

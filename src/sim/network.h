@@ -2,6 +2,7 @@
 // and a traceroute facility used to regenerate the paper's Tables 1 and 2.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -48,6 +49,23 @@ class Network {
   /// Adds a single directed link a->b (for asymmetric paths).
   Link& add_link(NodeId a, NodeId b, const LinkConfig& config);
 
+  /// PDES variants: bind the link's events to an explicit Simulator (the
+  /// one driving the domain that owns node `a`) instead of the Network's
+  /// construction-time simulator.  RNG stream order is unchanged — links
+  /// split from rng_ in add order either way — so a sharded build draws
+  /// exactly the streams a sequential build of the same topology does.
+  Link& add_link(NodeId a, NodeId b, const LinkConfig& config,
+                 Simulator& sim);
+  Link& add_duplex_link(NodeId a, NodeId b, const LinkConfig& config,
+                        Simulator& fwd_sim, Simulator& rev_sim);
+
+  /// Flat link enumeration for the PDES partitioner (indices are stable
+  /// once construction is done and double as the cross-domain link uid).
+  std::size_t link_count() const { return links_.size(); }
+  Link& link_at(std::size_t i) { return *links_.at(i).link; }
+  NodeId link_source(std::size_t i) const { return links_.at(i).from; }
+  NodeId link_target(std::size_t i) const { return links_.at(i).to; }
+
   /// The directed link a->b.  Throws if absent.
   Link& link(NodeId a, NodeId b);
   const Link& link(NodeId a, NodeId b) const;
@@ -81,7 +99,9 @@ class Network {
   /// Sum of per-link deliveries (hop traversals, not end-to-end packets).
   std::uint64_t total_delivered() const;
   /// Packets dropped mid-path because no route existed (link failures).
-  std::uint64_t unroutable_drops() const { return unroutable_drops_; }
+  std::uint64_t unroutable_drops() const {
+    return unroutable_drops_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct DirectedLink {
@@ -105,7 +125,10 @@ class Network {
   std::vector<Node> nodes_;
   std::vector<DirectedLink> links_;
   bool routes_valid_ = false;
-  std::uint64_t unroutable_drops_ = 0;
+  /// Atomic because in a sharded run any domain's forwarding path may hit
+  /// a routeless packet; everything else in Network is read-only once the
+  /// run starts (routes frozen, no topology changes).
+  std::atomic<std::uint64_t> unroutable_drops_{0};
 };
 
 }  // namespace bolot::sim

@@ -15,6 +15,11 @@ PacketLog::PacketLog(std::size_t capacity) : capacity_(capacity) {
 }
 
 void PacketLog::attach(Simulator& sim, Link& link) {
+  attach_deliveries(link);
+  attach_drops(sim, link);
+}
+
+void PacketLog::attach_deliveries(Link& link) {
   // Intern the name once at attach time; the per-event hooks then store a
   // 4-byte id instead of constructing a std::string per delivery/drop.
   const std::uint32_t link_id = intern_link(link.config().name);
@@ -29,6 +34,10 @@ void PacketLog::attach(Simulator& sim, Link& link) {
     event.size_bytes = packet.size_bytes;
     record(event);
   });
+}
+
+void PacketLog::attach_drops(Simulator& sim, Link& link) {
+  const std::uint32_t link_id = intern_link(link.config().name);
   link.add_drop_hook([this, link_id, &sim](const Packet& packet,
                                            DropCause cause) {
     PacketEvent event;

@@ -45,6 +45,13 @@ class PacketLog {
   /// for drop events.
   void attach(Simulator& sim, Link& link);
 
+  /// Split halves of attach(), for sharded runs where one link's drop
+  /// hooks fire in the sending domain and its delivery hooks in the
+  /// receiving domain: a log written from both sides of a cut link would
+  /// be a data race, so instrument each side with its own PacketLog.
+  void attach_drops(Simulator& sim, Link& link);
+  void attach_deliveries(Link& link);
+
   const std::vector<PacketEvent>& events() const;
   std::uint64_t evicted() const { return evicted_; }
 

@@ -60,6 +60,49 @@ class Simulator {
   /// Runs until the event queue is empty.
   void run_to_completion();
 
+  // --- PDES domain stepping (see sim/pdes.h) ---------------------------
+  // A Domain merges this queue with cross-domain handoffs, so it needs
+  // one-event-at-a-time control plus a way to dispatch an arrival that
+  // never lived in the queue.  These are the only entry points the
+  // parallel kernel adds; the sequential run_until path is untouched.
+
+  /// Time of the earliest pending event.  Requires pending_events() > 0.
+  SimTime next_event_time() const { return queue_.next_time(); }
+
+  /// Dispatches exactly one pending event (the earliest).
+  void dispatch_next() { dispatch_one(); }
+
+  /// Advances the clock to `at` (>= now) and runs `fn` as one dispatched
+  /// event, with the same audit/trace bookkeeping as dispatch_next().
+  /// Used for cross-domain arrivals, which are merged from a staging heap
+  /// instead of this queue so their ordering never depends on when the
+  /// receiving domain happened to drain its channels.
+  template <typename F>
+  void dispatch_external(SimTime at, F&& fn) {
+    if (at < now_) {
+      throw std::invalid_argument("Simulator: external event in the past");
+    }
+    now_ = at;
+    if constexpr (util::kAuditChecksEnabled) {
+      util::audit_set_sim_context(now_.count_nanos(), dispatched_);
+    }
+    if constexpr (obs::kTraceEnabled) {
+      obs::TraceRecorder::set_sim_time(now_.count_nanos());
+    }
+    fn();
+    ++dispatched_;
+    if constexpr (util::kAuditChecksEnabled) {
+      if ((dispatched_ & (kAuditStride - 1)) == 0) queue_.audit_verify();
+    }
+  }
+
+  /// Advances an idle clock to `end` (the tail of run_until): a domain
+  /// that finished a slice early still reports now() == end, exactly like
+  /// the sequential kernel.
+  void advance_to(SimTime end) {
+    if (now_ < end) now_ = end;
+  }
+
   std::uint64_t events_dispatched() const { return dispatched_; }
 
   /// Live (scheduled, not yet fired or cancelled) events.

@@ -5,7 +5,7 @@
 // cross traffic) driven with every deep invariant walk enabled, with each
 // topology run twice from the same seed.
 //
-// The test asserts two distinct properties the figures depend on:
+// The test asserts three distinct properties the figures depend on:
 //
 //   1. Invariants hold everywhere the generator can reach — the event
 //      queue's heap/slab discipline, per-link packet conservation, and
@@ -16,6 +16,11 @@
 //      timestamps, per-link packet logs, link stats, TCP state, event
 //      counts).  A nondeterministic iteration order, an uninitialized
 //      read, or time-travel in the queue shows up here as a digest split.
+//   3. Shard-invariance: the SAME topology run on the parallel kernel
+//      (sim/pdes.h) with 2, 4, and 8 domains must produce the SAME
+//      digest as the sequential kernel — the conservative-lookahead
+//      protocol claims the event stream is identical, and this is where
+//      that claim meets fifty random datapaths.
 //
 // Audit failures surface as thrown exceptions (a throwing handler is
 // installed), so a corrupted invariant fails the test with the formatted
@@ -25,13 +30,16 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "runner/thread_pool.h"
 #include "sim/channel.h"
 #include "sim/network.h"
 #include "sim/packet_log.h"
+#include "sim/pdes.h"
 #include "sim/simulator.h"
 #include "sim/tcp.h"
 #include "sim/traffic.h"
@@ -83,13 +91,33 @@ struct FuzzOutcome {
 
 /// Builds and runs one random topology.  Everything random derives from
 /// `seed`, so two calls with the same seed must return identical
-/// outcomes.
-FuzzOutcome run_topology(std::uint64_t seed) {
+/// outcomes — and `domains` must not matter: `domains <= 1` runs the
+/// sequential kernel, anything larger shards the path into contiguous
+/// node blocks on a ParallelSimulation, and the digests must agree.
+FuzzOutcome run_topology(std::uint64_t seed, std::size_t domains = 0) {
   Rng rng(seed);
-  Simulator sim;
+  const std::size_t hops = 1 + rng.uniform_int(5);  // 1..5
+
+  // Node i of the path lives in domain i*d/(hops+1); the TCP endpoints
+  // ride with the router they hang off.  Construction happens on this
+  // thread in one fixed order either way, so every Rng split happens in
+  // the sequential order and the streams are identical by construction.
+  std::optional<ParallelSimulation> psim;
+  std::optional<Simulator> seq;
+  if (domains > 1) {
+    psim.emplace(domains);
+  } else {
+    seq.emplace();
+  }
+  const auto domain_of = [&](std::size_t i) {
+    return psim ? i * domains / (hops + 1) : 0;
+  };
+  const auto sim_of = [&](std::size_t i) -> Simulator& {
+    return psim ? psim->simulator(domain_of(i)) : *seq;
+  };
+  Simulator& sim = sim_of(0);
   Network net(sim, /*rng_seed=*/seed ^ 0x9E3779B97F4A7C15ULL);
 
-  const std::size_t hops = 1 + rng.uniform_int(5);  // 1..5
   std::vector<NodeId> path;
   for (std::size_t i = 0; i <= hops; ++i) {
     path.push_back(net.add_node("n" + std::to_string(i)));
@@ -99,7 +127,15 @@ FuzzOutcome run_topology(std::uint64_t seed) {
   for (std::size_t i = 0; i < hops; ++i) {
     LinkConfig cfg;
     cfg.name = "hop" + std::to_string(i);
-    cfg.rate_bps = 128e3 * static_cast<double>(1 + rng.uniform_int(16));
+    // Continuous rate draw: round-number rates make serialization times
+    // exactly-round nanosecond counts, so two INDEPENDENT packets can
+    // meet at one node on the same nanosecond.  The sequential kernel
+    // orders such non-causal ties by event arm order, the parallel
+    // kernel by (link, stamp) — both deterministic, but not guaranteed
+    // equal (see sim/pdes.h).  Continuous rates make independent ties
+    // measure-zero, which is also the honest model: real links do not
+    // run at exact multiples of 128 kb/s.
+    cfg.rate_bps = 128e3 * rng.uniform(1.0, 17.0);
     cfg.propagation = Duration::millis(1.0 + rng.uniform(0.0, 15.0));
     cfg.buffer_packets = 4 + rng.uniform_int(28);
     if (rng.chance(1.0 / 3.0)) {
@@ -158,7 +194,8 @@ FuzzOutcome run_topology(std::uint64_t seed) {
           600 + static_cast<std::int64_t>(rng.uniform_int(1200));
       cfg.schedule = std::move(schedule);
     }
-    audited.push_back(&net.add_duplex_link(path[i], path[i + 1], cfg));
+    audited.push_back(&net.add_duplex_link(path[i], path[i + 1], cfg,
+                                           sim_of(i), sim_of(i + 1)));
   }
 
   // TCP endpoints hang off the chain on their own access links so the
@@ -167,15 +204,16 @@ FuzzOutcome run_topology(std::uint64_t seed) {
   const NodeId tcp_src = net.add_node("tcp-src");
   const NodeId tcp_dst = net.add_node("tcp-dst");
   LinkConfig access;
-  access.rate_bps = 10e6;
   access.propagation = Duration::millis(1);
   access.buffer_packets = 64;
   access.name = "acc-src";
-  net.add_duplex_link(tcp_src, path.front(), access);
+  access.rate_bps = 10e6 * rng.uniform(0.8, 1.2);  // continuous, as above
+  net.add_duplex_link(tcp_src, path.front(), access, sim_of(0), sim_of(0));
   access.name = "acc-dst";
-  net.add_duplex_link(tcp_dst, path.back(), access);
+  access.rate_bps = 10e6 * rng.uniform(0.8, 1.2);
+  net.add_duplex_link(tcp_dst, path.back(), access, sim_of(hops), sim_of(hops));
 
-  TcpSink tcp_sink(sim, net, tcp_dst);
+  TcpSink tcp_sink(sim_of(hops), net, tcp_dst);
   TcpConfig tcp_cfg;
   tcp_cfg.receiver_window_packets = 4.0 + static_cast<double>(rng.uniform_int(28));
   tcp_cfg.initial_ssthresh_packets =
@@ -194,7 +232,7 @@ FuzzOutcome run_topology(std::uint64_t seed) {
   BurstConfig burst_cfg;
   burst_cfg.mean_burst_gap = Duration::millis(80.0 + rng.uniform(0.0, 200.0));
   burst_cfg.mean_burst_packets = 2.0 + rng.uniform(0.0, 6.0);
-  BurstSource ftp(sim, net, path.back(), path.front(), /*flow=*/22,
+  BurstSource ftp(sim_of(hops), net, path.back(), path.front(), /*flow=*/22,
                   PacketKind::kBulk, rng.split(), burst_cfg);
   ftp.start(Duration::millis(rng.uniform(0.0, 20.0)));
 
@@ -202,11 +240,30 @@ FuzzOutcome run_topology(std::uint64_t seed) {
   probe_cfg.delta = Duration::millis(10.0 + rng.uniform(0.0, 40.0));
   probe_cfg.probe_count = 40 + rng.uniform_int(80);
   UdpEchoSource probe(sim, net, path.front(), path.back(), probe_cfg);
-  EchoHost echo(sim, net, path.back());
+  EchoHost echo(sim_of(hops), net, path.back());
   probe.start(Duration::millis(rng.uniform(0.0, 5.0)));
 
-  PacketLog log;
-  for (Link* link : audited) log.attach(sim, *link);
+  // One paired log per audited link, split into its two thread-local
+  // halves: a cut link's drop hooks fire in the sending domain and its
+  // delivery hooks in the receiving domain, so a single shared log would
+  // be a data race.  The sequential run uses the identical structure so
+  // the digests are comparable byte for byte.
+  std::vector<std::unique_ptr<PacketLog>> drop_logs;
+  std::vector<std::unique_ptr<PacketLog>> delivery_logs;
+  for (std::size_t i = 0; i < audited.size(); ++i) {
+    delivery_logs.push_back(std::make_unique<PacketLog>());
+    delivery_logs.back()->attach_deliveries(*audited[i]);
+    drop_logs.push_back(std::make_unique<PacketLog>());
+    drop_logs.back()->attach_drops(sim_of(i), *audited[i]);
+  }
+
+  if (psim) {
+    std::vector<std::size_t> node_domain;
+    for (std::size_t i = 0; i <= hops; ++i) node_domain.push_back(domain_of(i));
+    node_domain.push_back(domain_of(0));     // tcp-src
+    node_domain.push_back(domain_of(hops));  // tcp-dst
+    psim->attach(net, node_domain);
+  }
 
   // Run in slices, deep-walking every audited structure at each slice
   // boundary so a corruption is caught within 250 ms of simulated time
@@ -215,13 +272,18 @@ FuzzOutcome run_topology(std::uint64_t seed) {
   const Duration kSlice = Duration::millis(250);
   const Duration kEnd = Duration::seconds(2.5);
   for (Duration t = kSlice; t <= kEnd; t += kSlice) {
-    sim.run_until(t);
-    sim.audit_verify();
+    if (psim) {
+      psim->run_until(t);
+      psim->audit_verify();
+    } else {
+      sim.run_until(t);
+      sim.audit_verify();
+    }
     for (const Link* link : audited) link->audit_verify();
   }
 
   FuzzOutcome outcome;
-  outcome.events = sim.events_dispatched();
+  outcome.events = psim ? psim->events_dispatched() : sim.events_dispatched();
   outcome.probes_received = probe.received_count();
 
   Digest digest;
@@ -234,15 +296,21 @@ FuzzOutcome run_topology(std::uint64_t seed) {
     digest.mix_time(record.echo_time);
     digest.mix(record.received ? 1 : 0);
   }
-  digest.mix(log.events().size());
-  for (const PacketEvent& event : log.events()) {
-    digest.mix_time(event.at);
-    digest.mix(static_cast<std::uint64_t>(event.kind));
-    digest.mix(static_cast<std::uint64_t>(event.cause));
-    digest.mix(event.link_id);
-    digest.mix(event.packet_id);
-    digest.mix(event.flow);
-    digest.mix(static_cast<std::uint64_t>(event.size_bytes));
+  const auto mix_log = [&digest](const PacketLog& log) {
+    digest.mix(log.events().size());
+    for (const PacketEvent& event : log.events()) {
+      digest.mix_time(event.at);
+      digest.mix(static_cast<std::uint64_t>(event.kind));
+      digest.mix(static_cast<std::uint64_t>(event.cause));
+      digest.mix(event.link_id);
+      digest.mix(event.packet_id);
+      digest.mix(event.flow);
+      digest.mix(static_cast<std::uint64_t>(event.size_bytes));
+    }
+  };
+  for (std::size_t i = 0; i < audited.size(); ++i) {
+    mix_log(*delivery_logs[i]);
+    mix_log(*drop_logs[i]);
   }
   for (const Link* link : audited) {
     const LinkStats& stats = link->stats();
@@ -294,6 +362,36 @@ TEST_F(AuditFuzzTest, FiftyRandomTopologiesHoldInvariantsAndReplayExactly) {
   // silently dropped all traffic would make every digest trivially equal.
   EXPECT_GT(total_probes, kTopologies);
   EXPECT_GT(total_hops, 100u * kTopologies);
+}
+
+TEST_F(AuditFuzzTest, ShardedRunsMatchSequentialDigestsExactly) {
+  // Every fuzz topology again, but this time the sequential digest is
+  // the reference for the parallel kernel at 2, 4, and 8 domains (8
+  // usually exceeds the path length, leaving some domains empty — that
+  // degenerate case must hold too).  Worker threads are donated by the
+  // process-wide pool when the host has any; either way the claim is
+  // the same: the event stream is a function of the seed, not of the
+  // domain count or thread schedule.
+  runner::shared_pool();
+  constexpr std::uint64_t kTopologies = 50;
+  for (std::uint64_t i = 0; i < kTopologies; ++i) {
+    const std::uint64_t seed = derive_stream_seed(0xB010793ULL, i);
+    SCOPED_TRACE("topology " + std::to_string(i) + " seed " +
+                 std::to_string(seed));
+    FuzzOutcome sequential;
+    ASSERT_NO_THROW(sequential = run_topology(seed));
+    for (std::size_t domains : {2u, 4u, 8u}) {
+      SCOPED_TRACE(std::to_string(domains) + " domains");
+      FuzzOutcome sharded;
+      ASSERT_NO_THROW(sharded = run_topology(seed, domains));
+      EXPECT_EQ(sharded.digest, sequential.digest)
+          << "sharded event stream diverged: " << sharded.events << " vs "
+          << sequential.events << " events";
+      EXPECT_EQ(sharded.events, sequential.events);
+      EXPECT_EQ(sharded.probes_received, sequential.probes_received);
+      EXPECT_EQ(sharded.hop_deliveries, sequential.hop_deliveries);
+    }
+  }
 }
 
 TEST_F(AuditFuzzTest, CorruptedInvariantIsReportedWithContext) {

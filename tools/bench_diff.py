@@ -1,16 +1,22 @@
 #!/usr/bin/env python3
 """Print the per-metric delta between two BENCH_*.json artifacts.
 
-Usage: bench_diff.py OLD.json NEW.json
+Usage: bench_diff.py [--fail-on-regression PCT] OLD.json NEW.json
 
 Both files use the sweep-runner schema (see src/runner/sweep_io.h): a
 top-level "runs" list whose entries carry a "label" and a "metrics"
 mapping.  Runs are matched by label; metrics present in only one file
-are reported as added/removed.  Trend reporting only — this script never
-fails the build (exit 0 unless the inputs are unreadable), so perf noise
-on shared CI runners cannot block a merge.
+are reported as added/removed.
+
+By default this is trend reporting only — exit 0 unless the inputs are
+unreadable — so perf noise on shared CI runners cannot block a merge.
+With --fail-on-regression PCT the script exits 1 if any RATE metric (a
+name containing "per_sec") dropped by more than PCT percent against the
+baseline; non-rate metrics (counts, wall seconds) stay informational
+because they legitimately change when workloads are retuned.
 """
 
+import argparse
 import json
 import sys
 
@@ -32,15 +38,26 @@ def fmt(value):
 
 
 def main(argv):
-    if len(argv) != 3:
-        print(__doc__.strip(), file=sys.stderr)
+    parser = argparse.ArgumentParser(
+        prog="bench_diff", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--fail-on-regression", metavar="PCT", type=float,
+                        default=None,
+                        help="exit 1 if any *per_sec metric drops more than "
+                             "PCT%% vs the baseline")
+    parser.add_argument("old")
+    parser.add_argument("new")
+    try:
+        args = parser.parse_args(argv[1:])
+    except SystemExit:
         return 2
     try:
-        old, new = load_runs(argv[1]), load_runs(argv[2])
+        old, new = load_runs(args.old), load_runs(args.new)
     except (OSError, ValueError, KeyError) as err:
         print(f"bench_diff: cannot read inputs: {err}", file=sys.stderr)
         return 2
 
+    regressions = []
     width = max((len(f"{label}.{m}") for label, ms in new.items() for m in ms),
                 default=10)
     for label, metrics in new.items():
@@ -57,11 +74,22 @@ def main(argv):
             if before is None or value is None or before == 0:
                 delta = "n/a"
             else:
-                delta = f"{100.0 * (value - before) / before:+.1f}%"
+                pct = 100.0 * (value - before) / before
+                delta = f"{pct:+.1f}%"
+                if (args.fail_on_regression is not None and "per_sec" in name
+                        and pct < -args.fail_on_regression):
+                    regressions.append(f"{key}: {delta} "
+                                       f"({fmt(before)} -> {fmt(value)})")
             print(f"{key:<{width}}  {fmt(before):>14} -> {fmt(value):>14}  {delta}")
     for label in old:
         if label not in new:
             print(f"{label}: removed (present only in baseline)")
+    if regressions:
+        print(f"\nbench_diff: rate regressions beyond "
+              f"{args.fail_on_regression:g}%:", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
     return 0
 
 
