@@ -7,6 +7,8 @@
 // several cycles), probe it, average the rtts over windows — exactly how
 // Merit/Mukherjee-style statistics are formed — and recover the cycle
 // from the periodogram.
+#include <cstdint>
+#include <cstring>
 #include <iostream>
 
 #include "analysis/spectral.h"
@@ -15,8 +17,16 @@
 #include "sim/udp_echo.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bolot;
+
+  // --quick: shrink the load cycle and the probe run proportionally (a
+  // 1-minute "day" observed for 6 minutes still spans 6 cycles, enough
+  // for a clean periodogram peak) for CI smoke runs.
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
 
   sim::Simulator simulator;
   sim::Network net(simulator, 11);
@@ -44,7 +54,8 @@ int main() {
 
   // "Diurnal" load: mean 60% of the bottleneck, swinging +-55% of that
   // with a 4-minute period (a scaled-down day).
-  const Duration cycle = Duration::minutes(4);
+  const Duration cycle = quick ? Duration::minutes(1) : Duration::minutes(4);
+  const double run_minutes = quick ? 6.0 : 40.0;
   sim::ModulatedPoissonConfig cross_config;
   cross_config.packet_bytes = 512;
   cross_config.mean_interarrival =
@@ -58,14 +69,15 @@ int main() {
   sim::EchoHost echo(simulator, net, echo_node);
   sim::ProbeSourceConfig probe_config;
   probe_config.delta = Duration::millis(100);
-  probe_config.probe_count = 24000;  // 40 minutes
+  probe_config.probe_count =
+      static_cast<std::uint64_t>(run_minutes * 600.0);  // 10 probes/s
   sim::UdpEchoSource probes(simulator, net, probe_src, echo_node,
                             probe_config);
 
   net.compute_routes();
   cross.start(Duration::zero());
   probes.start(Duration::seconds(2));
-  simulator.run_until(Duration::minutes(41));
+  simulator.run_until(Duration::minutes(run_minutes + 1.0));
 
   // Window the rtts into 5-second averages (the Merit-statistics view).
   const auto trace = probes.trace();
@@ -91,7 +103,8 @@ int main() {
   const double detected_period_s = 5.0 / f;  // samples are 5 s apart
 
   std::cout << "Low-frequency component recovery "
-               "(modulated cross traffic, 40-minute probe run)\n\n";
+               "(modulated cross traffic, "
+            << format_double(run_minutes, 0) << "-minute probe run)\n\n";
   TextTable table;
   table.row({"quantity", "value"});
   table.row({"configured load cycle", format_double(cycle.seconds(), 0) + " s"});

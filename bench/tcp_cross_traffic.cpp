@@ -8,6 +8,8 @@
 // without standing overflow, its window cuts after drops produce
 // characteristic delay sawtooths, and probe loss is lower at equal
 // utilization because the sources *react* to congestion.
+#include <cstdint>
+#include <cstring>
 #include <iostream>
 
 #include "analysis/loss.h"
@@ -32,8 +34,8 @@ struct RunResult {
 };
 
 /// Probe across a 128 kb/s bottleneck loaded by `tcp_flows` greedy TCP
-/// transfers (closed-loop) for 10 simulated minutes.
-RunResult run_tcp_loaded(int tcp_flows) {
+/// transfers (closed-loop) for `minutes` simulated minutes.
+RunResult run_tcp_loaded(int tcp_flows, double minutes) {
   sim::Simulator simulator;
   sim::Network net(simulator, 77);
 
@@ -78,7 +80,7 @@ RunResult run_tcp_loaded(int tcp_flows) {
   sim::EchoHost echo(simulator, net, echo_node);
   sim::ProbeSourceConfig probe_config;
   probe_config.delta = Duration::millis(50);
-  probe_config.probe_count = 12000;
+  probe_config.probe_count = static_cast<std::uint64_t>(minutes * 1200.0);
   sim::UdpEchoSource probes(simulator, net, probe_src, echo_node,
                             probe_config);
 
@@ -88,7 +90,8 @@ RunResult run_tcp_loaded(int tcp_flows) {
   }
   const Duration warmup = Duration::seconds(5);
   probes.start(warmup);
-  const Duration end = warmup + Duration::minutes(10) + Duration::seconds(2);
+  const Duration end =
+      warmup + Duration::minutes(minutes) + Duration::seconds(2);
   simulator.run_until(end);
 
   RunResult result;
@@ -106,10 +109,10 @@ RunResult run_tcp_loaded(int tcp_flows) {
   return result;
 }
 
-RunResult run_open_loop() {
+RunResult run_open_loop(double minutes) {
   scenario::ProbePlan plan;
   plan.delta = Duration::millis(50);
-  plan.duration = Duration::minutes(10);
+  plan.duration = Duration::minutes(minutes);
   scenario::ScenarioOverrides overrides;
   overrides.faulty_interface_drop = 0.0;  // isolate congestion effects
   const auto run = scenario::run_inria_umd(plan, overrides);
@@ -124,10 +127,20 @@ RunResult run_open_loop() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --quick: 2-minute runs and a 2-row grid for CI smoke coverage.  The
+  // qualitative contrast (TCP fills the link at lower probe loss) is
+  // stable well before the 10-minute statistics converge.
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const double minutes = quick ? 2.0 : 10.0;
+
   std::cout << "Probe measurements under open-loop vs TCP (closed-loop) "
                "cross traffic\n(128 kb/s bottleneck, delta = 50 ms, "
-               "10-minute runs; faulty-card drops off)\n\n";
+            << format_double(minutes, 0)
+            << "-minute runs; faulty-card drops off)\n\n";
   TextTable table;
   table.row({"cross traffic", "util", "ulp", "clp", "plg", "mean rtt",
              "compr", "notes"});
@@ -142,10 +155,10 @@ int main() {
         .cell(r.phase.compression_fraction, 3)
         .cell(r.note);
   };
-  add("open-loop", run_open_loop());
-  add("tcp x1", run_tcp_loaded(1));
-  add("tcp x2", run_tcp_loaded(2));
-  add("tcp x4", run_tcp_loaded(4));
+  add("open-loop", run_open_loop(minutes));
+  if (!quick) add("tcp x1", run_tcp_loaded(1, minutes));
+  add("tcp x2", run_tcp_loaded(2, minutes));
+  if (!quick) add("tcp x4", run_tcp_loaded(4, minutes));
   table.print(std::cout);
   std::cout << "\nexpected: TCP fills the link (high utilization) while its "
                "congestion control\nkeeps probe loss below the open-loop mix "

@@ -24,7 +24,9 @@
 #include "analysis/probe_trace.h"
 #include "obs/metrics.h"
 #include "obs/timeseries.h"
+#include "scenario/topology_gen.h"
 #include "sim/channel.h"
+#include "sim/fluid.h"
 #include "sim/link.h"
 #include "sim/network.h"
 #include "util/time.h"
@@ -64,6 +66,34 @@ struct CrossTraffic {
   std::int64_t interactive_packet_bytes = 64;
 };
 
+/// Background-traffic population for generated-topology runs
+/// (run_topology): `flows` on/off flows between seeded random host pairs.
+/// Flows whose route stays outside the packetized zone are folded into
+/// per-link FluidAggregates (zero events per flow — see MODEL_NOTES §15);
+/// flows that touch the zone become real packet sources.
+struct FluidBackgroundConfig {
+  std::size_t flows = 10000;
+  /// On/off shape of each flow: peak rate, fraction of time on, cycle.
+  /// flow_peak_bps == 0 auto-calibrates the peak so the busiest link
+  /// carries `max_link_load` of its capacity in mean background demand.
+  double flow_peak_bps = 0.0;
+  double duty = 0.5;
+  Duration period = Duration::seconds(2);
+  double max_link_load = 0.5;
+  /// How fluid-served links model queueing (see sim::FluidQueueModel):
+  /// kResidualRate drains probes at the residual capacity; kMd1Wait adds
+  /// a sampled M/D/1 wait that also matches delay variance.
+  sim::FluidQueueModel queue_model = sim::FluidQueueModel::kResidualRate;
+  std::int64_t mean_packet_bytes = 512;
+  /// Optional K-state envelope modulation of each fluid link's aggregate
+  /// demand (0 = constant mean demand).  The envelope is the only event
+  /// source a fluid link has: O(1) per link, independent of flow count.
+  std::size_t envelope_states = 0;
+  Duration envelope_mean_holding = Duration::seconds(2);
+  double envelope_swing = 0.5;
+  std::uint64_t seed = 0xF10D;
+};
+
 struct ScenarioOverrides {
   std::optional<double> bottleneck_bps;
   std::optional<std::size_t> bottleneck_buffer_packets;
@@ -99,11 +129,25 @@ struct ScenarioOverrides {
   /// is cut into contiguous node blocks, cross-traffic hosts ride with
   /// their router, and cut hops must have positive propagation delay.
   /// The event stream is that of the sequential kernel; see MODEL_NOTES
-  /// §14.  Clamped to the path length; falls back to 1 when a cut hop
-  /// would have zero lookahead or when obs_sample_interval is set (the
-  /// sampler reads state across the whole topology).  Default 1 keeps
-  /// every default output byte-identical to the sequential kernel.
+  /// §14.  Chain scenarios clamp to the path length; run_topology clamps
+  /// to the generator's TopologyPlan::partition_count.  Falls back to 1
+  /// when a cut hop would have zero lookahead or when
+  /// obs_sample_interval is set (the sampler reads state across the
+  /// whole topology).  Default 1 keeps every default output
+  /// byte-identical to the sequential kernel.
   std::size_t domains = 1;
+  /// --- run_topology only (ignored by the chain scenarios) ---
+  /// Generated topology to probe instead of a historical path.
+  std::optional<TopologySpec> topology;
+  /// Background flow population riding the generated topology.
+  std::optional<FluidBackgroundConfig> fluid_background;
+  /// Hybrid fluid/packet split: links whose endpoints are all within
+  /// this many hops of the probed path are the *packetized zone* —
+  /// background flows touching any of them are instantiated as packet
+  /// sources, everything else is folded into fluid aggregates.  0 means
+  /// only the probed path's own links; nullopt (default) means no zone
+  /// at all, i.e. every background flow is fluid.
+  std::optional<std::size_t> packetize_radius;
 };
 
 struct ScenarioResult {
@@ -128,6 +172,20 @@ struct ScenarioResult {
   /// Filled only when ScenarioOverrides::record_bottleneck_deliveries is
   /// set: far-end arrival times on the forward bottleneck link.
   std::vector<SimTime> bottleneck_delivery_times;
+  /// run_topology only: how the background split between the fluid fold
+  /// and real packet sources (fluid + packetized == configured flows).
+  std::size_t background_flows_fluid = 0;
+  std::size_t background_flows_packetized = 0;
+  /// run_topology only: every directed link the probe's round trip
+  /// crosses (the forward path, then the echo path as actually routed —
+  /// min-hop tie-breaking need not mirror), with the mean fluid demand
+  /// each carries.  Exactly what the KIA cross-check (model/kia.h) needs.
+  struct ProbeHop {
+    double capacity_bps = 0.0;
+    Duration propagation;
+    double fluid_bps = 0.0;
+  };
+  std::vector<ProbeHop> probe_hops;
 };
 
 /// Runs a NetDyn experiment over the INRIA -> UMd path of Table 1.
@@ -137,6 +195,16 @@ ScenarioResult run_inria_umd(const ProbePlan& plan,
 /// Runs a NetDyn experiment over the UMd -> Pittsburgh path of Table 2.
 ScenarioResult run_umd_pitt(const ProbePlan& plan,
                             const ScenarioOverrides& overrides = {});
+
+/// Runs a NetDyn experiment over a generated topology
+/// (overrides.topology is required): the probe travels between the
+/// first and last generated host while overrides.fluid_background flows
+/// load the fabric — fluid everywhere except the packetized zone around
+/// the probed path (overrides.packetize_radius).  The per-run event cost
+/// scales with probed/packetized packets, not with the background flow
+/// count; see MODEL_NOTES §15 and bench/fluid_scale_baseline.
+ScenarioResult run_topology(const ProbePlan& plan,
+                            const ScenarioOverrides& overrides);
 
 /// A third path in the spirit of the paper's section 2 ("connections
 /// between INRIA and universities in Europe"): a short intra-European

@@ -1,0 +1,389 @@
+// run_topology: probe a generated topology (topology_gen.h) loaded by a
+// large background flow population served hybrid fluid/packet (sim/fluid.h,
+// MODEL_NOTES §15).  Flows whose route touches the packetized zone around
+// the probed path are simulated packet-by-packet; everything else is folded
+// into per-link fluid aggregates, so the event cost of a run scales with
+// probed/packetized packets rather than with the flow count.
+#include "scenario/scenarios.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "obs/sampler.h"
+#include "obs/trace.h"
+#include "sim/fluid.h"
+#include "sim/pdes.h"
+#include "sim/simulator.h"
+#include "sim/traffic.h"
+#include "sim/udp_echo.h"
+
+namespace bolot::scenario {
+
+namespace {
+
+constexpr Duration kTopoWarmup = Duration::seconds(5);
+constexpr Duration kTopoDrain = Duration::seconds(2);
+
+/// Effective PDES domain count for a generated topology: the requested
+/// count clamped against the *generator's* partition hints — not any route
+/// length; a mesh has no single route (the ScenarioOverrides::domains
+/// clamp bugfix) — with the same fallbacks as the chain scenarios: 1 when
+/// the sampler is on or when any cut edge would have zero lookahead.
+std::size_t effective_topology_domains(const TopologyPlan& topo,
+                                       const ScenarioOverrides& overrides) {
+  std::size_t domains = std::max<std::size_t>(1, overrides.domains);
+  domains = std::min(domains, topo.partition_count);
+  if (domains == 1) return 1;
+  if (overrides.obs_sample_interval) return 1;
+  const auto domain_of = [&](std::uint32_t node) {
+    return topo.nodes[node].partition * domains / topo.partition_count;
+  };
+  for (const TopologyPlan::EdgeSpec& edge : topo.edges) {
+    if (domain_of(edge.a) != domain_of(edge.b) &&
+        edge.propagation <= Duration::zero()) {
+      return 1;
+    }
+  }
+  return domains;
+}
+
+/// Multi-source BFS over the undirected wiring: hop distance from every
+/// node to the nearest probe-path node (path nodes are distance 0).
+std::vector<std::size_t> hops_from_path(
+    const TopologyPlan& topo, const std::vector<bool>& on_path) {
+  constexpr std::size_t kUnreached = std::numeric_limits<std::size_t>::max();
+  std::vector<std::vector<std::uint32_t>> adjacency(topo.nodes.size());
+  for (const TopologyPlan::EdgeSpec& edge : topo.edges) {
+    adjacency[edge.a].push_back(edge.b);
+    adjacency[edge.b].push_back(edge.a);
+  }
+  std::vector<std::size_t> dist(topo.nodes.size(), kUnreached);
+  std::queue<std::uint32_t> frontier;
+  for (std::uint32_t n = 0; n < topo.nodes.size(); ++n) {
+    if (on_path[n]) {
+      dist[n] = 0;
+      frontier.push(n);
+    }
+  }
+  while (!frontier.empty()) {
+    const std::uint32_t n = frontier.front();
+    frontier.pop();
+    for (const std::uint32_t m : adjacency[n]) {
+      if (dist[m] == kUnreached) {
+        dist[m] = dist[n] + 1;
+        frontier.push(m);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+ScenarioResult run_topology(const ProbePlan& plan,
+                            const ScenarioOverrides& overrides) {
+  TRACE_SCOPE("scenario.run_topology");
+  if (!overrides.topology) {
+    throw std::invalid_argument("run_topology: overrides.topology required");
+  }
+  const TopologyPlan topo = generate_topology(*overrides.topology);
+  if (topo.hosts.size() < 2) {
+    throw std::invalid_argument("run_topology: need at least two hosts");
+  }
+  const FluidBackgroundConfig background =
+      overrides.fluid_background.value_or(FluidBackgroundConfig{});
+
+  const std::size_t domains = effective_topology_domains(topo, overrides);
+  std::optional<sim::ParallelSimulation> psim;
+  std::optional<sim::Simulator> seq;
+  if (domains > 1) {
+    psim.emplace(domains);
+  } else {
+    seq.emplace();
+  }
+  const auto sim_of = [&](std::size_t domain) -> sim::Simulator& {
+    return psim ? psim->simulator(domain) : *seq;
+  };
+
+  sim::Network net(sim_of(0), plan.seed);
+  const BuiltTopology built = instantiate_topology(topo, net, domains, sim_of);
+  net.compute_routes();
+
+  // Plan node index -> domain, by NodeId (add order == plan order).
+  std::vector<std::size_t> domain_of_node(net.node_count(), 0);
+  for (std::size_t i = 0; i < built.nodes.size(); ++i) {
+    domain_of_node[built.nodes[i]] = built.node_domain[i];
+  }
+  // Directed (from, to) -> link uid, for turning traceroutes into routes.
+  std::map<std::pair<sim::NodeId, sim::NodeId>, std::uint32_t> uid_of;
+  for (std::size_t i = 0; i < net.link_count(); ++i) {
+    uid_of[{net.link_source(i), net.link_target(i)}] =
+        static_cast<std::uint32_t>(i);
+  }
+  const auto route_uids = [&](sim::NodeId from, sim::NodeId to) {
+    std::vector<std::uint32_t> uids;
+    const auto hops = net.traceroute(from, to);
+    uids.reserve(hops.size() - 1);
+    for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+      uids.push_back(uid_of.at({hops[i].node, hops[i + 1].node}));
+    }
+    return uids;
+  };
+
+  // The probe travels between the first and last generated hosts, which
+  // the generators place in different partitions (pod 0 vs the last pod /
+  // AS), so the probe crosses the fabric core.
+  const sim::NodeId probe_src = built.nodes[topo.hosts.front()];
+  const sim::NodeId probe_dst = built.nodes[topo.hosts.back()];
+  const std::vector<std::uint32_t> probe_fwd = route_uids(probe_src, probe_dst);
+
+  // Packetized zone: links all of whose endpoints are within
+  // packetize_radius hops of a probe-path node.  radius 0 = the probed
+  // path's own links (and path-to-path shortcuts); nullopt = no zone.
+  std::vector<bool> in_zone(net.link_count(), false);
+  if (overrides.packetize_radius) {
+    std::vector<bool> on_path(topo.nodes.size(), false);
+    for (const sim::TracerouteHop& hop : net.traceroute(probe_src, probe_dst)) {
+      on_path[hop.node] = true;  // NodeId == plan node index (add order)
+    }
+    const std::vector<std::size_t> dist = hops_from_path(topo, on_path);
+    for (std::size_t i = 0; i < net.link_count(); ++i) {
+      in_zone[i] = dist[net.link_source(i)] <= *overrides.packetize_radius &&
+                   dist[net.link_target(i)] <= *overrides.packetize_radius;
+    }
+  }
+
+  // --- Background flow population -------------------------------------
+  // Host pairs are drawn from a seeded stream; each (src, dst) pair's
+  // route and zone verdict is computed once and cached.  Pass 1 draws the
+  // population and accumulates per-link duty-weighted traversal counts
+  // (for peak calibration); pass 2 books fluid flows into the FlowTable.
+  struct PairRoute {
+    std::vector<std::uint32_t> uids;
+    bool packetized = false;
+  };
+  std::map<std::pair<std::size_t, std::size_t>, PairRoute> pair_cache;
+  SplitMix64 pair_stream(derive_stream_seed(background.seed, 0xB6));
+  std::vector<const PairRoute*> flow_pair(background.flows, nullptr);
+  std::vector<std::pair<sim::NodeId, sim::NodeId>> flow_ends(background.flows);
+  std::vector<double> unit_demand(net.link_count(), 0.0);  // all flows
+  for (std::size_t f = 0; f < background.flows; ++f) {
+    const std::size_t si = pair_stream.next() % topo.hosts.size();
+    std::size_t di = pair_stream.next() % topo.hosts.size();
+    while (di == si) di = pair_stream.next() % topo.hosts.size();
+    const sim::NodeId src = built.nodes[topo.hosts[si]];
+    const sim::NodeId dst = built.nodes[topo.hosts[di]];
+    auto [it, inserted] = pair_cache.try_emplace({si, di});
+    if (inserted) {
+      it->second.uids = route_uids(src, dst);
+      for (const std::uint32_t uid : it->second.uids) {
+        if (in_zone[uid]) {
+          it->second.packetized = true;
+          break;
+        }
+      }
+    }
+    flow_pair[f] = &it->second;
+    flow_ends[f] = {src, dst};
+    for (const std::uint32_t uid : it->second.uids) {
+      unit_demand[uid] += background.duty;
+    }
+  }
+
+  // Peak calibration: unit peaks would load link `uid` at
+  // unit_demand[uid] / capacity; scale so the busiest link carries
+  // max_link_load.  All background flows count — fluid and packetized
+  // alike load the fabric.
+  double peak = background.flow_peak_bps;
+  if (peak <= 0.0) {
+    double worst = 0.0;
+    for (std::size_t i = 0; i < net.link_count(); ++i) {
+      if (unit_demand[i] > 0.0) {
+        worst = std::max(worst,
+                         unit_demand[i] / net.link_at(i).config().rate_bps);
+      }
+    }
+    peak = worst > 0.0 ? background.max_link_load / worst : 0.0;
+  }
+
+  // Pass 2: book fluid flows (zero events each) and remember packetized
+  // ones; phases spread evenly so FlowTable::rate_at queries desynchronize.
+  sim::FlowTable table;
+  std::vector<std::size_t> packet_flows;
+  for (std::size_t f = 0; f < background.flows; ++f) {
+    if (flow_pair[f]->packetized) {
+      packet_flows.push_back(f);
+      continue;
+    }
+    const sim::FlowTable::RouteId route = table.intern_route(flow_pair[f]->uids);
+    const Duration phase = Duration::nanos(static_cast<std::int64_t>(
+        (static_cast<double>(f) / static_cast<double>(background.flows)) *
+        static_cast<double>(background.period.count_nanos())));
+    table.add_flow(f, route, static_cast<float>(peak),
+                   static_cast<float>(background.duty), background.period,
+                   phase);
+  }
+
+  // Per-link fluid demand (mean rates of the folded flows) -> aggregates,
+  // each homed in its link's domain and seeded by link uid so the setup is
+  // independent of the domain count.  With envelope modulation the mean
+  // demand arrives as a K-state FluidFlow (stationary mean == demand)
+  // instead of a constant base rate — the only event source a fluid link
+  // has, O(1) per link.
+  std::vector<std::unique_ptr<sim::FluidAggregate>> aggregates(
+      net.link_count());
+  std::vector<std::unique_ptr<sim::FluidFlow>> envelopes;
+  std::vector<sim::FluidAggregate*> by_link(net.link_count(), nullptr);
+  const bool modulated = background.envelope_states >= 2;
+  for (std::size_t i = 0; i < net.link_count(); ++i) {
+    const double demand = table.link_demand_bps(static_cast<std::uint32_t>(i));
+    if (demand <= 0.0) continue;
+    sim::Link& link = net.link_at(i);
+    sim::Simulator& link_sim = sim_of(domain_of_node[net.link_source(i)]);
+    sim::FluidAggregateConfig config;
+    config.capacity_bps = link.config().rate_bps;
+    config.queue_model = background.queue_model;
+    config.mean_packet_bytes = background.mean_packet_bytes;
+    aggregates[i] = std::make_unique<sim::FluidAggregate>(
+        link_sim, config,
+        Rng(derive_stream_seed(background.seed ^ 0xF1u, i)));
+    link.attach_fluid(*aggregates[i]);
+    by_link[i] = aggregates[i].get();
+    if (modulated) {
+      envelopes.push_back(std::make_unique<sim::FluidFlow>(
+          link_sim,
+          sim::FluidFlowConfig::envelope(demand, background.envelope_states,
+                                         background.envelope_swing,
+                                         background.envelope_mean_holding),
+          Rng(derive_stream_seed(background.seed ^ 0xE2u, i))));
+      envelopes.back()->attach(*aggregates[i]);
+    } else {
+      aggregates[i]->add_base_rate(demand);
+    }
+  }
+
+  // Packetized background: flows touching the zone run packet-by-packet
+  // as Poisson sources at their mean rate (peak * duty), so the zone sees
+  // real contention while its per-run cost stays proportional to the
+  // zone's traffic, not the population.
+  Rng packet_rng(derive_stream_seed(background.seed, 0xBEEF));
+  std::vector<std::unique_ptr<sim::TrafficSource>> sources;
+  std::uint32_t next_flow = 1;
+  const double mean_flow_bps = peak * background.duty;
+  if (!packet_flows.empty() && mean_flow_bps > 0.0) {
+    const double packet_bits =
+        static_cast<double>(background.mean_packet_bytes * 8);
+    const Duration mean_interarrival =
+        Duration::seconds(packet_bits / mean_flow_bps);
+    for (const std::size_t f : packet_flows) {
+      sources.push_back(std::make_unique<sim::PoissonSource>(
+          sim_of(domain_of_node[flow_ends[f].first]), net, flow_ends[f].first,
+          flow_ends[f].second, next_flow++, sim::PacketKind::kBulk,
+          packet_rng.split(), mean_interarrival,
+          background.mean_packet_bytes));
+    }
+  }
+
+  // NetDyn endpoints.
+  sim::EchoHost echo(sim_of(domain_of_node[probe_dst]), net, probe_dst);
+  sim::ProbeSourceConfig probe_config;
+  probe_config.delta = plan.delta;
+  probe_config.probe_wire_bytes = plan.probe_wire_bytes;
+  probe_config.probe_count = plan.probe_count();
+  if (overrides.clock_tick && *overrides.clock_tick > Duration::zero()) {
+    probe_config.clock_tick = *overrides.clock_tick;
+  }
+  sim::UdpEchoSource probe_source(sim_of(domain_of_node[probe_src]), net,
+                                  probe_src, probe_dst, probe_config);
+
+  // The probe path's slowest forward link plays the bottleneck role in
+  // the result (generated fabrics have no designated bottleneck hop).
+  std::uint32_t bneck_uid = probe_fwd.front();
+  for (const std::uint32_t uid : probe_fwd) {
+    if (net.link_at(uid).config().rate_bps <
+        net.link_at(bneck_uid).config().rate_bps) {
+      bneck_uid = uid;
+    }
+  }
+  sim::Link& bneck_fwd = net.link_at(bneck_uid);
+  sim::Link& bneck_rev =
+      net.link(net.link_target(bneck_uid), net.link_source(bneck_uid));
+
+  obs::MetricsRegistry registry;
+  std::optional<obs::Sampler> sampler;
+  if (overrides.obs_sample_interval) {
+    sim::Simulator& simulator = sim_of(0);
+    sampler.emplace(simulator, *overrides.obs_sample_interval,
+                    overrides.obs_series_budget);
+    // Every forward hop of the probed path publishes under a stable
+    // prefix; fluid-served hops add their fluid gauges automatically
+    // (Link::publish_metrics).
+    for (std::size_t h = 0; h < probe_fwd.size(); ++h) {
+      net.link_at(probe_fwd[h])
+          .publish_metrics(registry, "path.hop" + std::to_string(h));
+    }
+    probe_source.publish_metrics(registry);
+    obs::watch_queue_packets(*sampler, bneck_fwd);
+    obs::watch_utilization(*sampler, bneck_fwd, simulator);
+    obs::watch_probe_rtt_ms(*sampler, probe_source);
+  }
+
+  if (psim) {
+    psim->attach(net, built.node_domain);
+  }
+  for (auto& envelope : envelopes) envelope->start(Duration::zero());
+  for (auto& source : sources) {
+    source->start(Duration::millis(packet_rng.uniform(0.0, 100.0)));
+  }
+  probe_source.start(kTopoWarmup);
+  if (sampler) sampler->start(kTopoWarmup);
+
+  const Duration end = kTopoWarmup + plan.duration + kTopoDrain;
+  if (psim) {
+    psim->run_until(end);
+  } else {
+    seq->run_until(end);
+  }
+  if (sampler) sampler->stop();
+
+  ScenarioResult result;
+  result.trace = probe_source.trace();
+  result.route = net.traceroute(probe_src, probe_dst);
+  result.bottleneck_forward = bneck_fwd.stats();
+  result.bottleneck_reverse = bneck_rev.stats();
+  result.total_overflow_drops = net.total_overflow_drops();
+  result.total_random_drops = net.total_random_drops();
+  result.total_channel_drops = net.total_channel_drops();
+  result.hop_deliveries = net.total_delivered();
+  result.simulated = end;
+  result.events =
+      psim ? psim->events_dispatched() : seq->events_dispatched();
+  result.domains_used = domains;
+  if (sampler) {
+    result.metrics = registry.snapshot(sim_of(0).now());
+    result.series = sampler->snapshot();
+  }
+  result.background_flows_fluid = table.size();
+  result.background_flows_packetized = packet_flows.size();
+  std::vector<std::uint32_t> round_trip = probe_fwd;
+  const std::vector<std::uint32_t> echo_path =
+      route_uids(probe_dst, probe_src);
+  round_trip.insert(round_trip.end(), echo_path.begin(), echo_path.end());
+  result.probe_hops.reserve(round_trip.size());
+  for (const std::uint32_t uid : round_trip) {
+    ScenarioResult::ProbeHop hop;
+    hop.capacity_bps = net.link_at(uid).config().rate_bps;
+    hop.propagation = net.link_at(uid).config().propagation;
+    hop.fluid_bps = table.link_demand_bps(uid);
+    result.probe_hops.push_back(hop);
+  }
+  return result;
+}
+
+}  // namespace bolot::scenario

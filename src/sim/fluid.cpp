@@ -1,0 +1,409 @@
+#include "sim/fluid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace bolot::sim {
+
+// ---------------------------------------------------------------------------
+// FluidAggregate
+
+FluidAggregate::FluidAggregate(Simulator& sim, FluidAggregateConfig config,
+                               Rng rng)
+    : sim_(sim), config_(config), rng_(rng) {
+  if (config_.capacity_bps <= 0.0) {
+    throw std::invalid_argument("FluidAggregate: capacity must be positive");
+  }
+  if (config_.min_residual_fraction <= 0.0 ||
+      config_.min_residual_fraction > 1.0) {
+    throw std::invalid_argument(
+        "FluidAggregate: min_residual_fraction outside (0, 1]");
+  }
+  if (config_.mean_packet_bytes <= 0) {
+    throw std::invalid_argument(
+        "FluidAggregate: mean_packet_bytes must be positive");
+  }
+}
+
+void FluidAggregate::accrue(SimTime now) {
+  if (now <= accrued_to_) return;
+  const double share =
+      std::min(fluid_rate_bps() / config_.capacity_bps, 1.0);
+  fluid_busy_ns_ +=
+      share * static_cast<double>((now - accrued_to_).count_nanos());
+  accrued_to_ = now;
+}
+
+void FluidAggregate::add_base_rate(double bps) {
+  if (bps < 0.0) {
+    throw std::invalid_argument("FluidAggregate: negative base rate");
+  }
+  accrue(sim_.now());
+  base_rate_bps_ += bps;
+}
+
+void FluidAggregate::adjust_rate(double delta_bps) {
+  accrue(sim_.now());
+  dynamic_rate_bps_ += delta_bps;
+  // Sums of float-ish deltas can undershoot zero by an ulp when the last
+  // flow turns off; clamp so residual_bps never exceeds capacity.
+  if (dynamic_rate_bps_ < 0.0 &&
+      dynamic_rate_bps_ > -1e-6 * config_.capacity_bps) {
+    dynamic_rate_bps_ = 0.0;
+  }
+  ++rate_changes_;
+}
+
+double FluidAggregate::fluid_rate_bps() const {
+  return std::max(0.0, base_rate_bps_ + dynamic_rate_bps_);
+}
+
+double FluidAggregate::residual_bps() const {
+  const double floor_bps = config_.capacity_bps * config_.min_residual_fraction;
+  return std::max(floor_bps, config_.capacity_bps - fluid_rate_bps());
+}
+
+double FluidAggregate::utilization(SimTime now) const {
+  if (now.is_zero() || now.is_negative()) return 0.0;
+  double busy_ns = fluid_busy_ns_;
+  if (now > accrued_to_) {
+    const double share =
+        std::min(fluid_rate_bps() / config_.capacity_bps, 1.0);
+    busy_ns += share * static_cast<double>((now - accrued_to_).count_nanos());
+  }
+  return busy_ns / static_cast<double>(now.count_nanos());
+}
+
+Duration FluidAggregate::service_time(std::int64_t bytes) const {
+  if (config_.queue_model == FluidQueueModel::kResidualRate) {
+    return transmission_time(bytes * 8, residual_bps());
+  }
+  return transmission_time(bytes * 8, config_.capacity_bps);
+}
+
+Duration FluidAggregate::sample_extra_wait() {
+  if (config_.queue_model != FluidQueueModel::kMd1Wait) {
+    return Duration::zero();
+  }
+  ++wait_samples_;
+  // Two-moment M/D/1 wait fit (MODEL_NOTES §15): with load rho and
+  // deterministic service s of the displaced packets,
+  //   E[W]   = rho s / (2 (1-rho))
+  //   E[W^2] = 2 E[W]^2 + rho s^2 / (3 (1-rho))
+  // modeled as W = 0 with prob 1-a, Exp(m) with prob a, where matching
+  // both moments gives m = E[W^2] / (2 E[W]) and a = E[W] / m <= 1.
+  const double rho =
+      std::min(fluid_rate_bps() / config_.capacity_bps,
+               1.0 - config_.min_residual_fraction);
+  if (rho <= 0.0) return Duration::zero();
+  const double s = static_cast<double>(config_.mean_packet_bytes * 8) /
+                   config_.capacity_bps;
+  const double mean_w = rho * s / (2.0 * (1.0 - rho));
+  const double second = 2.0 * mean_w * mean_w +
+                        rho * s * s / (3.0 * (1.0 - rho));
+  const double m = second / (2.0 * mean_w);
+  const double a = mean_w / m;
+  if (!rng_.chance(a)) return Duration::zero();
+  return Duration::seconds(rng_.exponential(m));
+}
+
+void FluidAggregate::audit_verify() const {
+  SIM_CHECK(base_rate_bps_ >= 0.0 &&
+                base_rate_bps_ + dynamic_rate_bps_ >=
+                    -1e-6 * config_.capacity_bps,
+            "FluidAggregate: demand went negative (base %.3f + dynamic %.3f "
+            "bps)",
+            base_rate_bps_, dynamic_rate_bps_);
+  SIM_CHECK(std::isfinite(base_rate_bps_) && std::isfinite(dynamic_rate_bps_),
+            "FluidAggregate: non-finite demand");
+  SIM_CHECK(residual_bps() >=
+                config_.capacity_bps * config_.min_residual_fraction * 0.999,
+            "FluidAggregate: residual %.3f bps fell through the floor",
+            residual_bps());
+  SIM_CHECK(fluid_busy_ns_ >= 0.0 && accrued_to_ <= sim_.now(),
+            "FluidAggregate: utilization integral ran backwards");
+}
+
+// ---------------------------------------------------------------------------
+// FluidFlow
+
+FluidFlowConfig FluidFlowConfig::envelope(double peak_rate_bps,
+                                          std::size_t states, double swing,
+                                          Duration mean_holding) {
+  if (states < 2) {
+    throw std::invalid_argument("FluidFlowConfig::envelope: need >= 2 states");
+  }
+  if (swing < 0.0 || swing >= 1.0) {
+    throw std::invalid_argument(
+        "FluidFlowConfig::envelope: swing outside [0, 1)");
+  }
+  FluidFlowConfig config;
+  config.peak_rate_bps = peak_rate_bps;
+  config.state_rate_fraction.resize(states);
+  config.mean_holding.assign(states, mean_holding);
+  config.transition.assign(states * states, 0.0);
+  for (std::size_t i = 0; i < states; ++i) {
+    const double u = states == 1
+                         ? 0.0
+                         : 2.0 * static_cast<double>(i) /
+                                   static_cast<double>(states - 1) -
+                               1.0;
+    config.state_rate_fraction[i] = 1.0 + swing * u;
+    // Uniform jumps to every other state: the stationary distribution is
+    // uniform, so the stationary mean fraction is exactly 1.0.
+    for (std::size_t j = 0; j < states; ++j) {
+      if (j != i) {
+        config.transition[i * states + j] =
+            1.0 / static_cast<double>(states - 1);
+      }
+    }
+  }
+  return config;
+}
+
+FluidFlow::FluidFlow(Simulator& sim, FluidFlowConfig config, Rng rng)
+    : sim_(sim), config_(std::move(config)), rng_(rng) {
+  if (config_.peak_rate_bps < 0.0) {
+    throw std::invalid_argument("FluidFlow: negative peak rate");
+  }
+  if (config_.modulated()) {
+    const std::size_t k = config_.state_count();
+    if (config_.mean_holding.size() != k ||
+        config_.transition.size() != k * k || config_.initial_state >= k) {
+      throw std::invalid_argument("FluidFlow: malformed modulation");
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      if (config_.mean_holding[i] <= Duration::zero()) {
+        throw std::invalid_argument("FluidFlow: non-positive holding time");
+      }
+      double row = 0.0;
+      for (std::size_t j = 0; j < k; ++j) row += config_.transition[i * k + j];
+      if (std::abs(row - 1.0) > 1e-9) {
+        throw std::invalid_argument("FluidFlow: transition row must sum to 1");
+      }
+    }
+  } else {
+    if (config_.duty < 0.0 || config_.duty > 1.0) {
+      throw std::invalid_argument("FluidFlow: duty outside [0, 1]");
+    }
+    if (config_.period < Duration::zero() ||
+        config_.phase < Duration::zero()) {
+      throw std::invalid_argument("FluidFlow: negative period or phase");
+    }
+  }
+}
+
+void FluidFlow::attach(FluidAggregate& aggregate) {
+  if (started_) {
+    throw std::logic_error("FluidFlow: attach after start");
+  }
+  aggregates_.push_back(&aggregate);
+}
+
+void FluidFlow::set_rate(double bps) {
+  const double delta = bps - rate_bps_;
+  if (delta == 0.0) return;
+  rate_bps_ = bps;
+  ++edges_;
+  for (FluidAggregate* aggregate : aggregates_) {
+    aggregate->adjust_rate(delta);
+  }
+}
+
+void FluidFlow::start(SimTime at) {
+  if (started_) throw std::logic_error("FluidFlow: started twice");
+  started_ = true;
+  if (config_.modulated()) {
+    state_ = config_.initial_state;
+    sim_.schedule_at(at, [this] {
+      set_rate(config_.peak_rate_bps *
+               config_.state_rate_fraction[state_]);
+      on_transition(/*rearm=*/false);
+    });
+    return;
+  }
+  if (config_.period.is_zero() || config_.duty >= 1.0) {
+    // Constant-rate flow: one edge, no recurring events.
+    sim_.schedule_at(at + config_.phase,
+                     [this] { set_rate(config_.peak_rate_bps); });
+    return;
+  }
+  if (config_.duty <= 0.0) return;  // never on
+  // One self-flipping edge event: rearm_in re-fires this same closure, so
+  // the flip lives in the closure, not in two alternating callbacks.
+  sim_.schedule_at(at + config_.phase, [this] {
+    on_ = !on_;
+    set_rate(on_ ? config_.peak_rate_bps : 0.0);
+    on_onoff_edge();
+  });
+}
+
+void FluidFlow::on_onoff_edge() {
+  // Called from within the edge event with the *new* on_ already applied:
+  // schedule the opposite edge.  rearm_in reuses the dispatching slot, so
+  // a deterministic on/off flow costs exactly one live event forever.
+  const Duration on_span = config_.period * config_.duty;
+  const Duration off_span = config_.period - on_span;
+  sim_.rearm_in(on_ ? on_span : off_span);
+}
+
+void FluidFlow::on_transition(bool rearm) {
+  // Hold in the current state, then jump.  The holding draw happens at
+  // entry so the trajectory is a pure function of the rng stream.
+  const Duration hold = rng_.exponential_time(config_.mean_holding[state_]);
+  const auto jump = [this] {
+    const std::size_t k = config_.state_count();
+    const double u = rng_.uniform();
+    double cumulative = 0.0;
+    std::size_t next = k - 1;  // guard against rounding at u ~ 1
+    for (std::size_t j = 0; j < k; ++j) {
+      cumulative += config_.transition[state_ * k + j];
+      if (u < cumulative) {
+        next = j;
+        break;
+      }
+    }
+    state_ = next;
+    set_rate(config_.peak_rate_bps * config_.state_rate_fraction[state_]);
+    on_transition(/*rearm=*/true);
+  };
+  if (rearm) {
+    sim_.rearm_in(hold);
+  } else {
+    sim_.schedule_in(hold, jump);
+  }
+}
+
+void FluidFlow::audit_verify() const {
+  SIM_CHECK(rate_bps_ >= 0.0 && std::isfinite(rate_bps_),
+            "FluidFlow: rate %.3f bps out of range", rate_bps_);
+  SIM_CHECK(!config_.modulated() || state_ < config_.state_count(),
+            "FluidFlow: state %zu out of range", state_);
+}
+
+// ---------------------------------------------------------------------------
+// FlowTable
+
+FlowTable::RouteId FlowTable::intern_route(
+    const std::vector<std::uint32_t>& link_uids) {
+  if (link_uids.empty()) {
+    throw std::invalid_argument("FlowTable: empty route");
+  }
+  if (link_uids.size() > UINT16_MAX) {
+    throw std::invalid_argument("FlowTable: route too long");
+  }
+  const auto it = interned_.find(link_uids);
+  if (it != interned_.end()) return it->second;
+  const RouteId id = static_cast<RouteId>(route_offset_.size());
+  route_offset_.push_back(static_cast<std::uint32_t>(route_links_.size()));
+  route_len_.push_back(static_cast<std::uint16_t>(link_uids.size()));
+  route_links_.insert(route_links_.end(), link_uids.begin(), link_uids.end());
+  interned_.emplace(link_uids, id);
+  return id;
+}
+
+FlowTable::FlowId FlowTable::add_flow(std::uint64_t external_id, RouteId route,
+                                      float peak_rate_bps, float duty,
+                                      Duration period, Duration phase) {
+  if (route >= route_offset_.size()) {
+    throw std::out_of_range("FlowTable: unknown route");
+  }
+  if (peak_rate_bps < 0.0f || duty < 0.0f || duty > 1.0f) {
+    throw std::invalid_argument("FlowTable: bad flow parameters");
+  }
+  const FlowId id = static_cast<FlowId>(size());
+  external_id_.push_back(external_id);
+  peak_rate_bps_.push_back(peak_rate_bps);
+  duty_.push_back(duty);
+  period_ns_.push_back(period.count_nanos());
+  phase_ns_.push_back(phase.count_nanos());
+  route_.push_back(route);
+  return id;
+}
+
+FlowTable::FlowId FlowTable::find(std::uint64_t external_id) const {
+  for (std::size_t i = 0; i < external_id_.size(); ++i) {
+    if (external_id_[i] == external_id) return static_cast<FlowId>(i);
+  }
+  throw std::out_of_range("FlowTable: unknown external id");
+}
+
+double FlowTable::mean_rate_bps(FlowId f) const {
+  return static_cast<double>(peak_rate_bps_.at(f)) *
+         static_cast<double>(duty_.at(f));
+}
+
+double FlowTable::rate_at(FlowId f, SimTime t) const {
+  const std::int64_t period = period_ns_.at(f);
+  if (period <= 0) return mean_rate_bps(f);
+  const double duty = duty_[f];
+  if (duty >= 1.0) return peak_rate_bps_[f];
+  if (duty <= 0.0) return 0.0;
+  std::int64_t offset = (t.count_nanos() - phase_ns_[f]) % period;
+  if (offset < 0) offset += period;
+  const double on_ns = duty * static_cast<double>(period);
+  return static_cast<double>(offset) < on_ns ? peak_rate_bps_[f] : 0.0;
+}
+
+std::size_t FlowTable::route_length(RouteId r) const {
+  return route_len_.at(r);
+}
+
+std::uint32_t FlowTable::route_link(RouteId r, std::size_t i) const {
+  if (i >= route_len_.at(r)) {
+    throw std::out_of_range("FlowTable: route link index");
+  }
+  return route_links_[route_offset_[r] + i];
+}
+
+void FlowTable::register_mean_rates(
+    const std::vector<FluidAggregate*>& by_link_uid, double scale) const {
+  for (std::size_t f = 0; f < size(); ++f) {
+    const double rate = mean_rate_bps(static_cast<FlowId>(f)) * scale;
+    if (rate <= 0.0) continue;
+    const RouteId r = route_[f];
+    const std::uint32_t offset = route_offset_[r];
+    const std::uint16_t len = route_len_[r];
+    for (std::uint16_t i = 0; i < len; ++i) {
+      const std::uint32_t uid = route_links_[offset + i];
+      if (uid < by_link_uid.size() && by_link_uid[uid] != nullptr) {
+        by_link_uid[uid]->add_base_rate(rate);
+      }
+    }
+  }
+}
+
+double FlowTable::link_demand_bps(std::uint32_t uid) const {
+  double demand = 0.0;
+  for (std::size_t f = 0; f < size(); ++f) {
+    const RouteId r = route_[f];
+    const std::uint32_t offset = route_offset_[r];
+    const std::uint16_t len = route_len_[r];
+    for (std::uint16_t i = 0; i < len; ++i) {
+      if (route_links_[offset + i] == uid) {
+        demand += mean_rate_bps(static_cast<FlowId>(f));
+        break;
+      }
+    }
+  }
+  return demand;
+}
+
+void FlowTable::audit_verify() const {
+  const std::size_t n = size();
+  SIM_CHECK(external_id_.size() == n && duty_.size() == n &&
+                period_ns_.size() == n && phase_ns_.size() == n &&
+                route_.size() == n,
+            "FlowTable: SoA columns out of sync at %zu flows", n);
+  SIM_CHECK(route_offset_.size() == route_len_.size() &&
+                interned_.size() == route_offset_.size(),
+            "FlowTable: route arena index out of sync");
+  for (std::size_t r = 0; r < route_offset_.size(); ++r) {
+    SIM_CHECK(route_offset_[r] + route_len_[r] <= route_links_.size(),
+              "FlowTable: route %zu overruns the arena", r);
+  }
+}
+
+}  // namespace bolot::sim

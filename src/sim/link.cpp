@@ -7,6 +7,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/fluid.h"
 
 namespace bolot::sim {
 
@@ -46,6 +47,21 @@ Link::Link(Simulator& sim, LinkConfig config, Rng drop_rng)
   // its own high-water mark (propagation / service time) within the first
   // busy period.
   queue_.reserve(config_.buffer_packets);
+}
+
+void Link::attach_fluid(FluidAggregate& fluid) {
+  if (fluid_ != nullptr) {
+    throw std::logic_error("Link: fluid aggregate already attached");
+  }
+  if (schedule_ != nullptr) {
+    throw std::invalid_argument(
+        "Link: fluid demand on a trace-driven transmitter is undefined");
+  }
+  if (fluid.config().capacity_bps != config_.rate_bps) {
+    throw std::invalid_argument(
+        "Link: fluid aggregate capacity does not match the link rate");
+  }
+  fluid_ = &fluid;
 }
 
 void Link::add_drop_hook(DropHook hook) {
@@ -170,7 +186,13 @@ void Link::start_transmitter(bool rearm) {
 
 void Link::start_front_transmission(bool rearm) {
   busy_ = true;
-  const Duration service = service_time(queue_.front().size_bytes);
+  // With a fluid aggregate attached the service span is computed against
+  // the instantaneous residual rate (memoization does not apply — the
+  // rate moves under us).  Fluid rate changes mid-service take effect at
+  // the next packet boundary, bounding the error by one service time.
+  const Duration service =
+      fluid_ != nullptr ? fluid_->service_time(queue_.front().size_bytes)
+                        : service_time(queue_.front().size_bytes);
   stats_.busy += service;
   if (rearm) {
     // Back-to-back service: reuse the completion event that is dispatching
@@ -197,16 +219,23 @@ void Link::complete_front() {
     }
     extra = verdict.extra_delay;
   }
+  if (fluid_ != nullptr) {
+    // kMd1Wait queueing delay of the displaced fluid traffic (zero, and
+    // no rng draw, in kResidualRate mode).  Like the channel stage it is
+    // decided at transmission-complete time, after the server.
+    extra += fluid_->sample_extra_wait();
+  }
+  const bool variable_delay = channel_.has_value() || fluid_ != nullptr;
   ++stats_.delivered;
   stats_.bytes_delivered += done.size_bytes;
   if (remote_egress_) {
     // Domain boundary: the propagation span is carried by the cross-domain
     // channel, not the flight ring.  Arrival-time math (including the
-    // channel-stage FIFO clamp) is identical to the local path below, so
-    // the receiving domain sees the same timestamps the sequential kernel
-    // would have produced.
+    // channel/fluid-stage FIFO clamp) is identical to the local path
+    // below, so the receiving domain sees the same timestamps the
+    // sequential kernel would have produced.
     SimTime arrive = sim_.now() + config_.propagation;
-    if (channel_) {
+    if (variable_delay) {
       arrive += extra;
       if (arrive < last_flight_arrival_) arrive = last_flight_arrival_;
       last_flight_arrival_ = arrive;
@@ -218,7 +247,7 @@ void Link::complete_front() {
     // closure (MODEL_NOTES §10).  Moving straight from the queue slot
     // into the flight slot touches each Packet once.
     SimTime arrive = sim_.now() + config_.propagation;
-    if (channel_) {
+    if (variable_delay) {
       // Variable extra delay could reorder arrivals; clamp to the latest
       // in-flight arrival so the single-event flight ring stays FIFO
       // (a link does not reorder — late packets delay their successors).
@@ -428,6 +457,18 @@ void Link::audit_verify() const {
     }
   }
 
+  // Fluid stage: the aggregate's own invariants, plus the FIFO clamp
+  // watermark the sampled waits share with the channel stage.
+  if (fluid_ != nullptr) {
+    fluid_->audit_verify();
+    if (!flight_.empty()) {
+      SIM_CHECK(flight_[flight_.size() - 1].arrive_at <= last_flight_arrival_,
+                "Link %s: FIFO clamp watermark behind the flight ring "
+                "(fluid stage)",
+                config_.name.c_str());
+    }
+  }
+
   // Trace-driven transmitter: earned credit is spent eagerly on whole
   // packets, so it can never go negative, and it is zeroed whenever the
   // queue drains (credit never banks across idle spans).
@@ -470,7 +511,12 @@ void Link::publish_metrics(obs::MetricsRegistry& registry,
   registry.probe_gauge(prefix + ".max_queue",
                        [this] { return double(stats_.max_queue); });
   registry.probe_gauge(prefix + ".utilization", [this] {
-    return stats_.utilization(sim_.now());
+    // Residual-capacity utilization: the fluid share of the wire counts
+    // too, else a fluid-saturated link reads near-zero.  Fluid-free links
+    // evaluate to exactly the old expression.
+    double utilization = stats_.utilization(sim_.now());
+    if (fluid_ != nullptr) utilization += fluid_->utilization(sim_.now());
+    return std::min(utilization, 1.0);
   });
   if (config_.red) {
     registry.probe_gauge(prefix + ".red_avg_queue",
@@ -502,6 +548,18 @@ void Link::publish_metrics(obs::MetricsRegistry& registry,
   if (schedule_) {
     registry.probe_counter(prefix + ".wasted_opportunities", [this] {
       return double(stats_.wasted_opportunities);
+    });
+  }
+  if (fluid_ != nullptr) {
+    // Fluid demand and what it leaves for packetized traffic.  Appended
+    // after every pre-fluid metric so fluid-free snapshots keep their
+    // exact registration order (byte-stable serialization).
+    registry.probe_gauge(prefix + ".fluid_rate_bps",
+                         [this] { return fluid_->fluid_rate_bps(); });
+    registry.probe_gauge(prefix + ".residual_bps",
+                         [this] { return fluid_->residual_bps(); });
+    registry.probe_gauge(prefix + ".fluid_utilization", [this] {
+      return fluid_->utilization(sim_.now());
     });
   }
 }

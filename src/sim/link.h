@@ -36,6 +36,8 @@ class MetricsRegistry;
 
 namespace bolot::sim {
 
+class FluidAggregate;  // sim/fluid.h
+
 /// Random Early Detection (Floyd & Jacobson 1993 — contemporary with the
 /// paper) as an alternative to drop-tail, for the queue-management
 /// ablation.  Thresholds are in packets against the EWMA queue length.
@@ -215,6 +217,15 @@ class Link {
   }
   bool trace_driven() const { return schedule_ != nullptr; }
 
+  /// Attaches a fluid aggregate (sim/fluid.h): the transmitter serves
+  /// packets against the aggregate's time-varying residual rate (or, in
+  /// kMd1Wait mode, adds its sampled queueing delay).  The aggregate must
+  /// be driven by this link's Simulator (same PDES domain), its capacity
+  /// must equal rate_bps, and trace-driven links cannot take one.  Call
+  /// before traffic flows; links without one are byte-for-byte untouched.
+  void attach_fluid(FluidAggregate& fluid);
+  const FluidAggregate* fluid() const { return fluid_; }
+
   /// Registers this link's observables with a MetricsRegistry, prefixed
   /// with `prefix` ("<prefix>.delivered", "<prefix>.drops_early", ...);
   /// an empty prefix means the link name.  The two directions of a duplex
@@ -288,6 +299,9 @@ class Link {
   std::optional<MarkovChannel> channel_;
   /// Borrowed from config_.schedule (non-null iff trace-driven).
   const DeliverySchedule* schedule_ = nullptr;
+  /// Borrowed fluid demand aggregate (attach_fluid); null on the pure
+  /// packet path, which then compiles to the exact pre-fluid behavior.
+  FluidAggregate* fluid_ = nullptr;
   /// Index of the next delivery opportunity to consider (monotone;
   /// wraps through the schedule cyclically via DeliverySchedule::at).
   std::uint64_t schedule_next_ = 0;
@@ -295,9 +309,9 @@ class Link {
   /// packet (cellsim's partial-packet carry).  Reset when the queue
   /// drains: credit never accrues while there is nothing to send.
   std::int64_t schedule_credit_bytes_ = 0;
-  /// Latest arrival time pushed to flight_; channel extra delay is
-  /// clamped to this so the in-flight ring stays FIFO (only maintained,
-  /// and only needed, when channel_ is engaged).
+  /// Latest arrival time pushed to flight_; channel / fluid-wait extra
+  /// delay is clamped to this so the in-flight ring stays FIFO (only
+  /// maintained, and only needed, when channel_ or fluid_ is engaged).
   SimTime last_flight_arrival_;
   Sink sink_;
   RemoteEgress remote_egress_;

@@ -36,7 +36,9 @@
 #include <vector>
 
 #include "runner/thread_pool.h"
+#include "scenario/topology_gen.h"
 #include "sim/channel.h"
+#include "sim/fluid.h"
 #include "sim/network.h"
 #include "sim/packet_log.h"
 #include "sim/pdes.h"
@@ -390,6 +392,159 @@ TEST_F(AuditFuzzTest, ShardedRunsMatchSequentialDigestsExactly) {
       EXPECT_EQ(sharded.events, sequential.events);
       EXPECT_EQ(sharded.probes_received, sequential.probes_received);
       EXPECT_EQ(sharded.hop_deliveries, sequential.hop_deliveries);
+    }
+  }
+}
+
+/// One generated fabric (scenario/topology_gen.h) with fluid-served links
+/// (sim/fluid.h), probed end to end, run with every deep invariant walk
+/// enabled.  Aggregates and envelope flows are seeded by link uid and
+/// homed in the link's domain, so the trajectory — and with it the whole
+/// event stream — must be a function of the seed alone, not of how the
+/// fabric is sharded.
+FuzzOutcome run_generated_fabric(std::uint64_t seed, std::size_t domains) {
+  scenario::TopologySpec spec;
+  spec.family = seed % 2 == 0 ? scenario::TopologySpec::Family::kFatTree
+                              : scenario::TopologySpec::Family::kAsHierarchy;
+  spec.seed = seed;
+  spec.fat_tree_k = 8;  // 8 partition hints either way, so 8 domains fit
+  spec.hosts_per_edge = 1;
+  spec.core_count = 8;
+  spec.stubs_per_core = 2;
+  spec.hosts_per_stub = 1;
+  const scenario::TopologyPlan plan = scenario::generate_topology(spec);
+
+  std::optional<ParallelSimulation> psim;
+  std::optional<Simulator> seq;
+  if (domains > 1) {
+    psim.emplace(domains);
+  } else {
+    seq.emplace();
+  }
+  const auto sim_of = [&](std::size_t d) -> Simulator& {
+    return psim ? psim->simulator(d) : *seq;
+  };
+  Network net(sim_of(0), seed ^ 0x9E3779B97F4A7C15ULL);
+  const scenario::BuiltTopology built = scenario::instantiate_topology(
+      plan, net, domains > 1 ? domains : 1, sim_of);
+  net.compute_routes();
+  std::vector<std::size_t> domain_of_node(net.node_count(), 0);
+  for (std::size_t i = 0; i < built.nodes.size(); ++i) {
+    domain_of_node[built.nodes[i]] = built.node_domain[i];
+  }
+
+  // Fluid on every third link: half constant base demand, half an
+  // envelope-modulated demand (the only event source a fluid link has),
+  // alternating queue models so both service paths are audited.
+  std::vector<std::unique_ptr<FluidAggregate>> aggregates;
+  std::vector<std::unique_ptr<FluidFlow>> envelopes;
+  std::vector<Link*> fluid_links;
+  for (std::size_t uid = 0; uid < net.link_count(); uid += 3) {
+    Link& link = net.link_at(uid);
+    Simulator& link_sim = sim_of(domain_of_node[net.link_source(uid)]);
+    FluidAggregateConfig config;
+    config.capacity_bps = link.config().rate_bps;
+    config.queue_model = uid % 2 == 0 ? FluidQueueModel::kResidualRate
+                                      : FluidQueueModel::kMd1Wait;
+    aggregates.push_back(std::make_unique<FluidAggregate>(
+        link_sim, config, Rng(derive_stream_seed(seed ^ 0xF1u, uid))));
+    link.attach_fluid(*aggregates.back());
+    fluid_links.push_back(&link);
+    const double demand = 0.4 * link.config().rate_bps;
+    if (uid % 6 == 0) {
+      aggregates.back()->add_base_rate(demand);
+    } else {
+      envelopes.push_back(std::make_unique<FluidFlow>(
+          link_sim,
+          FluidFlowConfig::envelope(demand, 3, 0.5, Duration::millis(120)),
+          Rng(derive_stream_seed(seed ^ 0xE2u, uid))));
+      envelopes.back()->attach(*aggregates.back());
+    }
+  }
+
+  const NodeId probe_src = built.nodes[plan.hosts.front()];
+  const NodeId probe_dst = built.nodes[plan.hosts.back()];
+  ProbeSourceConfig probe_cfg;
+  probe_cfg.delta = Duration::millis(15);
+  probe_cfg.probe_count = 120;
+  UdpEchoSource probe(sim_of(domain_of_node[probe_src]), net, probe_src,
+                      probe_dst, probe_cfg);
+  EchoHost echo(sim_of(domain_of_node[probe_dst]), net, probe_dst);
+  Rng cross_rng(derive_stream_seed(seed, 0xC0));
+  PoissonSource cross(sim_of(domain_of_node[probe_dst]), net, probe_dst,
+                      probe_src, /*flow=*/31, PacketKind::kBulk,
+                      cross_rng.split(), Duration::millis(5), 512);
+
+  if (psim) psim->attach(net, built.node_domain);
+  for (auto& envelope : envelopes) envelope->start(Duration::zero());
+  probe.start(Duration::millis(1));
+  cross.start(Duration::millis(2));
+
+  const Duration kSlice = Duration::millis(250);
+  const Duration kEnd = Duration::seconds(2);
+  for (Duration t = kSlice; t <= kEnd; t += kSlice) {
+    if (psim) {
+      psim->run_until(t);
+      psim->audit_verify();
+    } else {
+      seq->run_until(t);
+      seq->audit_verify();
+    }
+    for (const Link* link : fluid_links) link->audit_verify();
+  }
+
+  FuzzOutcome outcome;
+  outcome.events = psim ? psim->events_dispatched() : seq->events_dispatched();
+  outcome.probes_received = probe.received_count();
+  Digest digest;
+  const analysis::ProbeTrace trace = probe.trace();
+  digest.mix(trace.records.size());
+  for (const analysis::ProbeRecord& record : trace.records) {
+    digest.mix(record.seq);
+    digest.mix_time(record.send_time);
+    digest.mix_time(record.rtt);
+    digest.mix(record.received ? 1 : 0);
+  }
+  for (std::size_t uid = 0; uid < net.link_count(); ++uid) {
+    const LinkStats& stats = net.link_at(uid).stats();
+    digest.mix(stats.offered);
+    digest.mix(stats.delivered);
+    digest.mix(static_cast<std::uint64_t>(stats.bytes_delivered));
+    digest.mix_time(stats.busy);
+    outcome.hop_deliveries += stats.delivered;
+  }
+  for (const auto& aggregate : aggregates) {
+    digest.mix(aggregate->rate_changes());
+    digest.mix(aggregate->wait_samples());
+  }
+  digest.mix(outcome.events);
+  outcome.digest = digest.value();
+  return outcome;
+}
+
+TEST_F(AuditFuzzTest, GeneratedFluidFabricsShardInvariantAcrossDomains) {
+  runner::shared_pool();
+  constexpr std::uint64_t kFabrics = 6;
+  for (std::uint64_t i = 0; i < kFabrics; ++i) {
+    const std::uint64_t seed = derive_stream_seed(0xFA88ULL, i);
+    SCOPED_TRACE("fabric " + std::to_string(i) + " seed " +
+                 std::to_string(seed));
+    // Same wiring both times: the generator itself must replay exactly.
+    scenario::TopologySpec spec;
+    spec.seed = seed;
+    EXPECT_EQ(scenario::generate_topology(spec).wiring_digest(),
+              scenario::generate_topology(spec).wiring_digest());
+    FuzzOutcome sequential;
+    ASSERT_NO_THROW(sequential = run_generated_fabric(seed, 1));
+    EXPECT_GT(sequential.probes_received, 0u);
+    for (const std::size_t domains : {2u, 4u, 8u}) {
+      SCOPED_TRACE(std::to_string(domains) + " domains");
+      FuzzOutcome sharded;
+      ASSERT_NO_THROW(sharded = run_generated_fabric(seed, domains));
+      EXPECT_EQ(sharded.digest, sequential.digest)
+          << "sharded event stream diverged: " << sharded.events << " vs "
+          << sequential.events << " events";
+      EXPECT_EQ(sharded.events, sequential.events);
     }
   }
 }
