@@ -146,7 +146,7 @@ void sweep_faulty_drop() {
   const auto sweep = run_ablation(
       "ablation_faulty_drop", specs, [](const runner::RunContext& ctx) {
         scenario::ScenarioOverrides ov;
-        ov.faulty_interface_drop = ctx.param("faulty_drop");
+        ov.faulty_interface_drop = Probability::checked(ctx.param("faulty_drop"));
         return run_point(ov, 200.0);
       });
   TextTable table;
@@ -217,8 +217,8 @@ void sweep_probe_size() {
         scenario::ProbePlan plan;
         plan.delta = Duration::millis(50);
         plan.duration = Duration::minutes(10);
-        plan.probe_wire_bytes =
-            static_cast<std::int64_t>(ctx.param("probe_bytes"));
+        plan.probe_wire = ByteSize::bytes(
+            static_cast<std::int64_t>(ctx.param("probe_bytes")));
         plan.seed = g_cli.base_seed;
         const auto result = scenario::run_inria_umd(plan);
         auto metrics = runner::scenario_metrics(result);
@@ -239,7 +239,7 @@ void sweep_probe_size() {
     table.row({});
     table.cell(static_cast<std::int64_t>(run.param("probe_bytes")))
         .cell(run.param("probe_bytes") * 8 /
-                  (0.050 * scenario::kInriaUmdBottleneckBps),
+                  (0.050 * scenario::kInriaUmdBottleneck.bps()),
               3)
         .cell(*run.metric("ulp"), 3)
         .cell(*run.metric("clp"), 3);

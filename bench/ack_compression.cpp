@@ -41,7 +41,7 @@ AckStudy run(bool with_reverse_flow) {
   const auto b_dst = net.add_node("b-dst");
 
   sim::LinkConfig fast;
-  fast.rate_bps = 10e6;
+  fast.rate = Bandwidth::bps(10e6);
   fast.propagation = Duration::millis(1);
   fast.buffer_packets = 1000;
   net.add_duplex_link(a_src, left, fast);
@@ -50,7 +50,7 @@ AckStudy run(bool with_reverse_flow) {
   net.add_duplex_link(left, b_dst, fast);
 
   sim::LinkConfig bottleneck;
-  bottleneck.rate_bps = 128e3;
+  bottleneck.rate = Bandwidth::bps(128e3);
   bottleneck.propagation = Duration::millis(20);
   bottleneck.buffer_packets = 20;
   net.add_duplex_link(left, right, bottleneck);

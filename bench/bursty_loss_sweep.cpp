@@ -87,7 +87,7 @@ int main(int argc, char** argv) {
 
         scenario::ScenarioOverrides overrides;
         overrides.bottleneck_channel = sim::MarkovChannelConfig::
-            from_loss_targets(ctx.param("target_ulp"),
+            from_loss_targets(bolot::Probability::checked(ctx.param("target_ulp")),
                               ctx.param("target_plg"));
         // Isolate the channel: no competing traffic, no faulty interfaces,
         // and a buffer deep enough that probes never overflow.
@@ -96,7 +96,7 @@ int main(int argc, char** argv) {
         no_cross.bulk_load = 0.0;
         no_cross.interactive_load = 0.0;
         overrides.cross_traffic = no_cross;
-        overrides.faulty_interface_drop = 0.0;
+        overrides.faulty_interface_drop = Probability::checked(0.0);
         overrides.bottleneck_buffer_packets = 256;
         // Exercise the per-state channel metrics through the obs layer so
         // they land in the BENCH json ("obs.bneck.fwd.channel.s*").

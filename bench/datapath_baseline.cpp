@@ -86,7 +86,7 @@ DatapathResult run_chain3(Chain3Mode mode,
   const sim::NodeId n3 = net.add_node("n3");
 
   sim::LinkConfig config;
-  config.rate_bps = 1.024e9;  // 512 B -> exactly 4 us of service
+  config.rate = Bandwidth::bps(1.024e9);  // 512 B -> exactly 4 us of service
   config.propagation = Duration::micros(10);
   config.buffer_packets = 64;
   config.name = "hop0";
@@ -127,7 +127,7 @@ DatapathResult run_chain3(Chain3Mode mode,
   // stays shallow, nothing drops.
   sim::CbrSource source(simulator, net, n0, n3, /*flow=*/1,
                         sim::PacketKind::kBulk, Rng(11),
-                        Duration::micros(4), /*packet_bytes=*/512);
+                        Duration::micros(4), /*packet=*/ByteSize::bytes(512));
   net.compute_routes();
   source.start(SimTime());
   if (mode == Chain3Mode::kMetrics) sampler.start(SimTime());

@@ -27,7 +27,7 @@ int main() {
   const auto result = scenario::run_inria_umd(plan);
 
   analysis::WorkloadOptions options;
-  options.bottleneck_bps = scenario::kInriaUmdBottleneckBps;
+  options.bottleneck_bps = scenario::kInriaUmdBottleneck.bps();
   options.bin_ms = 2.0;
   options.max_ms = 90.0;
   options.min_peak_mass = 0.01;

@@ -22,7 +22,7 @@ bolot::analysis::WorkloadAnalysis run_one(double delta_ms, double max_ms) {
   const auto result = scenario::run_inria_umd(plan);
 
   analysis::WorkloadOptions options;
-  options.bottleneck_bps = scenario::kInriaUmdBottleneckBps;
+  options.bottleneck_bps = scenario::kInriaUmdBottleneck.bps();
   options.bin_ms = 2.0;
   options.max_ms = max_ms;
   options.min_peak_mass = 0.01;

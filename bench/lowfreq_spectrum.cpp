@@ -36,13 +36,13 @@ int main(int argc, char** argv) {
   const auto echo_node = net.add_node("echo");
 
   sim::LinkConfig fast;
-  fast.rate_bps = 10e6;
+  fast.rate = Bandwidth::bps(10e6);
   fast.propagation = Duration::millis(1);
   fast.buffer_packets = 500;
   net.add_duplex_link(probe_src, left, fast);
   net.add_duplex_link(right, echo_node, fast);
   sim::LinkConfig bottleneck;
-  bottleneck.rate_bps = 128e3;
+  bottleneck.rate = Bandwidth::bps(128e3);
   bottleneck.propagation = Duration::millis(52);
   bottleneck.buffer_packets = 20;
   net.add_duplex_link(left, right, bottleneck);
@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
   const Duration cycle = quick ? Duration::minutes(1) : Duration::minutes(4);
   const double run_minutes = quick ? 6.0 : 40.0;
   sim::ModulatedPoissonConfig cross_config;
-  cross_config.packet_bytes = 512;
+  cross_config.packet = ByteSize::bytes(512);
   cross_config.mean_interarrival =
       Duration::seconds(512.0 * 8.0 / (0.6 * 128e3));
   cross_config.relative_amplitude = 0.55;

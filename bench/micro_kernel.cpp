@@ -87,7 +87,7 @@ void BM_LinkForwarding(benchmark::State& state) {
   for (auto _ : state) {
     sim::Simulator simulator;
     sim::LinkConfig config;
-    config.rate_bps = 10e6;
+    config.rate = Bandwidth::bps(10e6);
     config.propagation = Duration::micros(10);
     config.buffer_packets = 64;
     sim::Link link(simulator, config, Rng(1));
@@ -139,7 +139,7 @@ void BM_TcpTransferSecond(benchmark::State& state) {
     const auto src = net.add_node("src");
     const auto dst = net.add_node("dst");
     sim::LinkConfig link;
-    link.rate_bps = 10e6;
+    link.rate = Bandwidth::bps(10e6);
     link.propagation = Duration::millis(5);
     link.buffer_packets = 64;
     net.add_duplex_link(src, dst, link);
@@ -156,7 +156,7 @@ void BM_RedLinkForwarding(benchmark::State& state) {
   for (auto _ : state) {
     sim::Simulator simulator;
     sim::LinkConfig config;
-    config.rate_bps = 10e6;
+    config.rate = Bandwidth::bps(10e6);
     config.propagation = Duration::micros(10);
     config.buffer_packets = 64;
     sim::RedConfig red;
@@ -180,8 +180,8 @@ BENCHMARK(BM_RedLinkForwarding);
 
 void BM_StationarySolver(benchmark::State& state) {
   model::ModelConfig config;
-  config.mu_bps = 128e3;
-  config.probe_bits = 72 * 8;
+  config.mu = Bandwidth::bps(128e3);
+  config.probe = BitSize::bits(72 * 8);
   config.delta = Duration::millis(20);
   config.buffer_packets = 16;
   config.batch_phase = 0.5;

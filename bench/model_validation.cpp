@@ -28,7 +28,7 @@
 int main() {
   using namespace bolot;
   const double delta_ms = 20.0;
-  const double mu = scenario::kInriaUmdBottleneckBps;
+  const double mu = scenario::kInriaUmdBottleneck.bps();
 
   // Step 1: measure.
   scenario::ProbePlan plan;
@@ -61,8 +61,8 @@ int main() {
 
   // Step 3: drive the analytic model with the empirical batches.
   model::ModelConfig config;
-  config.mu_bps = mu;
-  config.probe_bits = measured.trace.probe_wire_bytes * 8;
+  config.mu = Bandwidth::bps(mu);
+  config.probe = BitSize::bits(measured.trace.probe_wire_bytes * 8);
   config.delta = plan.delta;
   config.fixed_rtt = Duration::millis(140);
   config.buffer_packets = 14;  // the scenario's bottleneck K

@@ -47,13 +47,13 @@ int main() {
   const auto right = net.add_node("right");
   const auto echo_node = net.add_node("echo");
   sim::LinkConfig fast;
-  fast.rate_bps = 10e6;
+  fast.rate = Bandwidth::bps(10e6);
   fast.propagation = Duration::millis(2);
   fast.buffer_packets = 500;
   net.add_duplex_link(src, left, fast);
   net.add_duplex_link(right, echo_node, fast);
   sim::LinkConfig bottleneck;
-  bottleneck.rate_bps = 128e3;
+  bottleneck.rate = Bandwidth::bps(128e3);
   bottleneck.propagation = Duration::millis(52);
   bottleneck.buffer_packets = 14;
   net.add_duplex_link(left, right, bottleneck);
@@ -63,7 +63,7 @@ int main() {
   net.add_duplex_link(cross_src, left, fast);
   net.add_duplex_link(right, cross_dst, fast);
   sim::FtpSessionConfig session;
-  session.bottleneck_bps = 128e3;
+  session.bottleneck = Bandwidth::bps(128e3);
   sim::FtpSessionSource cross(simulator, net, cross_src, cross_dst, 1,
                               sim::PacketKind::kBulk, Rng(3), session);
 

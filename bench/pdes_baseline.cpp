@@ -81,7 +81,7 @@ PdesResult run_sharded(std::size_t domains, Duration span, AddFlows add_flows) {
     nodes.push_back(net.add_node("n" + std::to_string(i)));
   }
   sim::LinkConfig config;
-  config.rate_bps = 1.024e8;  // 512 B -> exactly 40 us of service
+  config.rate = Bandwidth::bps(1.024e8);  // 512 B -> exactly 40 us of service
   config.propagation = Duration::millis(1);  // lookahead = 25 packet times
   config.buffer_packets = 64;
   for (std::size_t h = 0; h + 1 < kNodes; ++h) {
@@ -127,11 +127,11 @@ PdesResult run_chain(std::size_t domains) {
         sources.push_back(std::make_unique<sim::CbrSource>(
             sim_of(0), net, nodes.front(), nodes.back(), /*flow=*/1,
             sim::PacketKind::kBulk, Rng(11), Duration::micros(40),
-            /*packet_bytes=*/512));
+            /*packet=*/ByteSize::bytes(512)));
         sources.push_back(std::make_unique<sim::CbrSource>(
             sim_of(kNodes - 1), net, nodes.back(), nodes.front(), /*flow=*/2,
             sim::PacketKind::kBulk, Rng(13), Duration::micros(40),
-            /*packet_bytes=*/512));
+            /*packet=*/ByteSize::bytes(512)));
       });
 }
 
@@ -151,7 +151,7 @@ PdesResult run_parking_lot(std::size_t domains) {
               sim_of(i), net, nodes[i], nodes.back(),
               /*flow=*/static_cast<std::uint32_t>(10 + i),
               sim::PacketKind::kBulk, rng.split(), Duration::micros(400),
-              /*packet_bytes=*/512));
+              /*packet=*/ByteSize::bytes(512)));
         }
       });
 }

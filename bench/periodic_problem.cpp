@@ -24,7 +24,7 @@ int main() {
   const auto gw = net.add_node("buggy-gateway");
   const auto echo_node = net.add_node("echo");
   sim::LinkConfig fast;
-  fast.rate_bps = 1.544e6;
+  fast.rate = Bandwidth::bps(1.544e6);
   fast.propagation = Duration::millis(5);
   fast.buffer_packets = 200;
   net.add_duplex_link(src, gw, fast);

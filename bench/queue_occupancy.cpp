@@ -43,14 +43,14 @@ int main(int argc, char** argv) {
   const auto right = net.add_node("right");
   const auto echo_node = net.add_node("echo");
   sim::LinkConfig fast;
-  fast.rate_bps = 10e6;
+  fast.rate = Bandwidth::bps(10e6);
   fast.propagation = Duration::millis(1);
   fast.buffer_packets = 1000;
   net.add_duplex_link(src, left, fast);
   net.add_duplex_link(right, echo_node, fast);
   sim::LinkConfig bottleneck_config;
   bottleneck_config.name = "bottleneck";
-  bottleneck_config.rate_bps = 128e3;
+  bottleneck_config.rate = Bandwidth::bps(128e3);
   bottleneck_config.propagation = Duration::millis(30);
   bottleneck_config.buffer_packets = 20;
   sim::Link& bottleneck = net.add_duplex_link(left, right, bottleneck_config);
@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
   net.add_duplex_link(cross_src, left, fast);
   net.add_duplex_link(right, cross_dst, fast);
   sim::FtpSessionConfig session;
-  session.bottleneck_bps = 128e3;
+  session.bottleneck = Bandwidth::bps(128e3);
   session.mean_session = Duration::seconds(6);
   session.mean_idle = Duration::seconds(9);
   sim::FtpSessionSource cross(simulator, net, cross_src, cross_dst, 1,

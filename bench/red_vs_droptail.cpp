@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
           sim::RedConfig red;
           red.min_threshold = 3.0;
           red.max_threshold = 11.0;
-          red.max_probability = 0.1;
+          red.max_probability = Probability::checked(0.1);
           red.weight = 0.02;
           overrides.bottleneck_red = red;
         }

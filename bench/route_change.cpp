@@ -29,20 +29,20 @@ int main() {
   const auto echo_node = net.add_node("echo");
 
   sim::LinkConfig fast;
-  fast.rate_bps = 10e6;
+  fast.rate = Bandwidth::bps(10e6);
   fast.propagation = Duration::millis(1);
   fast.buffer_packets = 200;
   net.add_duplex_link(src, gw, fast);
 
   sim::LinkConfig direct_link;
-  direct_link.rate_bps = 1.544e6;
+  direct_link.rate = Bandwidth::bps(1.544e6);
   direct_link.propagation = Duration::millis(10);
   direct_link.buffer_packets = 60;
   net.add_duplex_link(gw, direct, direct_link);
   net.add_duplex_link(direct, echo_node, fast);
 
   sim::LinkConfig slow;
-  slow.rate_bps = 512e3;
+  slow.rate = Bandwidth::bps(512e3);
   slow.propagation = Duration::millis(25);
   slow.buffer_packets = 40;
   net.add_duplex_link(gw, backup_a, slow);
@@ -57,7 +57,7 @@ int main() {
   net.add_duplex_link(backup_b, cross_dst, fast);
   sim::PoissonSource cross(simulator, net, cross_src, echo_node, 9,
                            sim::PacketKind::kInteractive, Rng(31),
-                           Duration::millis(6), 512);
+                           Duration::millis(6), ByteSize::bytes(512));
 
   sim::EchoHost echo(simulator, net, echo_node);
   sim::ProbeSourceConfig config;

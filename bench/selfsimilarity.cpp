@@ -36,7 +36,7 @@ HurstResult run(double pareto_shape, double minutes) {
   // stream is the aggregate arrival process itself (no queue smoothing).
   sim::LinkConfig bottleneck_config;
   bottleneck_config.name = "aggregate";
-  bottleneck_config.rate_bps = 100e6;
+  bottleneck_config.rate = Bandwidth::bps(100e6);
   bottleneck_config.propagation = Duration::millis(1);
   bottleneck_config.buffer_packets = 100000;
   sim::Link& bottleneck = net.add_duplex_link(left, right, bottleneck_config);
@@ -48,7 +48,7 @@ HurstResult run(double pareto_shape, double minutes) {
   for (int i = 0; i < 16; ++i) {
     const auto host = net.add_node("host-" + std::to_string(i));
     sim::LinkConfig access;
-    access.rate_bps = 10e6;
+    access.rate = Bandwidth::bps(10e6);
     access.propagation = Duration::micros(100);
     access.buffer_packets = 2000;
     net.add_duplex_link(host, left, access);
@@ -56,7 +56,7 @@ HurstResult run(double pareto_shape, double minutes) {
     config.mean_on = Duration::millis(300);
     config.mean_off = Duration::millis(900);
     config.on_interval = Duration::millis(10);
-    config.packet_bytes = 512;
+    config.packet = ByteSize::bytes(512);
     config.pareto_shape = pareto_shape;
     sources.push_back(std::make_unique<sim::OnOffSource>(
         simulator, net, host, right, static_cast<std::uint32_t>(i + 1),

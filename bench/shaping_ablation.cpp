@@ -36,13 +36,13 @@ RunOutcome run(bool shaped) {
   const auto right = net.add_node("right");
   const auto echo_node = net.add_node("echo");
   sim::LinkConfig fast;
-  fast.rate_bps = 10e6;
+  fast.rate = Bandwidth::bps(10e6);
   fast.propagation = Duration::millis(2);
   fast.buffer_packets = 500;
   net.add_duplex_link(src, left, fast);
   net.add_duplex_link(right, echo_node, fast);
   sim::LinkConfig bottleneck;
-  bottleneck.rate_bps = 128e3;
+  bottleneck.rate = Bandwidth::bps(128e3);
   bottleneck.propagation = Duration::millis(52);
   bottleneck.buffer_packets = 14;
   net.add_duplex_link(left, right, bottleneck);
@@ -55,8 +55,8 @@ RunOutcome run(bool shaped) {
 
   // The burst workload, generated identically in both runs.
   sim::ShaperConfig shaper_config;
-  shaper_config.rate_bps = 0.70 * 128e3;
-  shaper_config.bucket_bytes = 2 * 512;
+  shaper_config.rate = Bandwidth::bps(0.70 * 128e3);
+  shaper_config.bucket = ByteSize::bytes(2 * 512);
   shaper_config.queue_packets = 4096;
   sim::TokenBucketShaper shaper(simulator, net, shaper_config);
 

@@ -72,8 +72,8 @@ int main(int argc, char** argv) {
         auto metrics = runner::scenario_metrics(result);
         metrics.push_back(
             {"probe_load",
-             static_cast<double>(plan.probe_wire_bytes * 8) /
-                 (plan.delta.seconds() * scenario::kInriaUmdBottleneckBps)});
+             static_cast<double>(plan.probe_wire.count() * 8) /
+                 (plan.delta.seconds() * scenario::kInriaUmdBottleneck.bps())});
         return metrics;
       },
       options);

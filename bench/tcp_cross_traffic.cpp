@@ -45,14 +45,14 @@ RunResult run_tcp_loaded(int tcp_flows, double minutes) {
   const auto echo_node = net.add_node("echo");
 
   sim::LinkConfig fast;
-  fast.rate_bps = 10e6;
+  fast.rate = Bandwidth::bps(10e6);
   fast.propagation = Duration::millis(2);
   fast.buffer_packets = 500;
   net.add_duplex_link(probe_src, left, fast);
   net.add_duplex_link(right, echo_node, fast);
 
   sim::LinkConfig bottleneck;
-  bottleneck.rate_bps = 128e3;
+  bottleneck.rate = Bandwidth::bps(128e3);
   bottleneck.propagation = Duration::millis(52);
   bottleneck.buffer_packets = 14;
   net.add_duplex_link(left, right, bottleneck);
@@ -114,7 +114,7 @@ RunResult run_open_loop(double minutes) {
   plan.delta = Duration::millis(50);
   plan.duration = Duration::minutes(minutes);
   scenario::ScenarioOverrides overrides;
-  overrides.faulty_interface_drop = 0.0;  // isolate congestion effects
+  overrides.faulty_interface_drop = Probability::checked(0.0);  // isolate congestion effects
   const auto run = scenario::run_inria_umd(plan, overrides);
   RunResult result;
   result.loss = analysis::loss_stats(run.trace);

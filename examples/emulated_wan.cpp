@@ -31,9 +31,9 @@ int main() {
   netdyn::PathEmulatorConfig wan_config;
   wan_config.target = netdyn::loopback(echo.port());
   wan_config.one_way_delay = Duration::millis(52);
-  wan_config.rate_bps = 128e3;
+  wan_config.rate = Bandwidth::bps(128e3);
   wan_config.buffer_packets = 14;
-  wan_config.loss_probability = 0.02;
+  wan_config.loss_probability = bolot::Probability::checked(0.02);
   netdyn::PathEmulator wan(0, wan_config);
   wan.start();
 

@@ -39,7 +39,7 @@ Patient run_patient(const std::string& name, bool fail_link,
   const auto echo_node = net.add_node("echo");
 
   sim::LinkConfig fast;
-  fast.rate_bps = 1.544e6;
+  fast.rate = Bandwidth::bps(1.544e6);
   fast.propagation = Duration::millis(3);
   fast.buffer_packets = 100;
   net.add_duplex_link(src, gw, fast);
@@ -47,7 +47,7 @@ Patient run_patient(const std::string& name, bool fail_link,
   sim::Link& uplink = net.add_duplex_link(backbone, echo_node, fast);
 
   sim::LinkConfig slow;
-  slow.rate_bps = 256e3;
+  slow.rate = Bandwidth::bps(256e3);
   slow.propagation = Duration::millis(30);
   slow.buffer_packets = 40;
   net.add_duplex_link(gw, backup, slow);
@@ -55,7 +55,7 @@ Patient run_patient(const std::string& name, bool fail_link,
 
   sim::PoissonSource cross(simulator, net, src, echo_node, 9,
                            sim::PacketKind::kInteractive, Rng(43),
-                           Duration::millis(8), 512);
+                           Duration::millis(8), ByteSize::bytes(512));
 
   sim::EchoHost echo(simulator, net, echo_node);
   sim::ProbeSourceConfig config;

@@ -56,17 +56,17 @@ int main() {
   const auto echo_host = net.add_node("echo.remote.edu");
 
   sim::LinkConfig ethernet;
-  ethernet.rate_bps = 10e6;
+  ethernet.rate = Bandwidth::bps(10e6);
   ethernet.propagation = Duration::millis(0.3);
   ethernet.buffer_packets = 64;
 
   sim::LinkConfig t1;
-  t1.rate_bps = 1.544e6;
+  t1.rate = Bandwidth::bps(1.544e6);
   t1.propagation = Duration::millis(4);
   t1.buffer_packets = 40;
 
   sim::LinkConfig slow_serial;
-  slow_serial.rate_bps = 128e3;
+  slow_serial.rate = Bandwidth::bps(128e3);
   slow_serial.propagation = Duration::millis(20);
   slow_serial.buffer_packets = 20;
 

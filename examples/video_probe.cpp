@@ -31,13 +31,13 @@ analysis::ProbeTrace run(bool video_timing) {
   const auto right = net.add_node("right");
   const auto echo_node = net.add_node("echo");
   sim::LinkConfig fast;
-  fast.rate_bps = 10e6;
+  fast.rate = Bandwidth::bps(10e6);
   fast.propagation = Duration::millis(1);
   fast.buffer_packets = 500;
   net.add_duplex_link(src, left, fast);
   net.add_duplex_link(right, echo_node, fast);
   sim::LinkConfig bottleneck;
-  bottleneck.rate_bps = 128e3;
+  bottleneck.rate = Bandwidth::bps(128e3);
   bottleneck.propagation = Duration::millis(52);
   bottleneck.buffer_packets = 14;
   net.add_duplex_link(left, right, bottleneck);
@@ -49,7 +49,7 @@ analysis::ProbeTrace run(bool video_timing) {
   sim::BurstConfig bursts;
   bursts.mean_burst_gap = Duration::millis(600);
   bursts.mean_burst_packets = 8.0;
-  bursts.packet_bytes = 512;
+  bursts.packet = ByteSize::bytes(512);
   bursts.in_burst_spacing = Duration::micros(410);
   sim::BurstSource cross(simulator, net, cross_src, cross_dst, 1,
                          sim::PacketKind::kBulk, Rng(9), bursts);

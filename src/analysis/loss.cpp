@@ -1,6 +1,7 @@
 #include "analysis/loss.h"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace bolot::analysis {
@@ -42,7 +43,9 @@ LossStats loss_stats(std::span<const std::uint8_t> losses) {
   s.clp = lost_pairs_den > 0 ? static_cast<double>(lost_pairs_num) /
                                    static_cast<double>(lost_pairs_den)
                              : 0.0;
-  s.plg_from_clp = s.clp < 1.0 ? 1.0 / (1.0 - s.clp) : INFINITY;
+  s.plg_from_clp = s.clp < 1.0
+                     ? 1.0 / (1.0 - s.clp)
+                     : std::numeric_limits<double>::infinity();
 
   std::size_t burst_count = 0;
   std::size_t burst_total = 0;

@@ -12,7 +12,7 @@ ModelRun run_model(const ModelConfig& config) {
   if (!config.batch_bits) {
     throw std::invalid_argument("run_model: batch_bits distribution required");
   }
-  if (config.mu_bps <= 0.0 || config.probe_bits <= 0) {
+  if (!config.mu.is_positive() || config.probe <= BitSize::zero()) {
     throw std::invalid_argument("run_model: mu and P must be positive");
   }
   if (config.batch_phase >= 1.0) {
@@ -22,19 +22,19 @@ ModelRun run_model(const ModelConfig& config) {
     throw std::invalid_argument("run_model: delta must be positive");
   }
 
-  if (config.buffer_packets == 0 || config.batch_packet_bits <= 0) {
+  if (config.buffer_packets == 0 || config.batch_packet <= BitSize::zero()) {
     throw std::invalid_argument("run_model: buffer/batch packet config");
   }
 
   Rng rng(config.seed);
   ModelRun run;
   run.trace.delta = config.delta;
-  run.trace.probe_wire_bytes = config.probe_bits / 8;
+  run.trace.probe_wire_bytes = config.probe.count() / 8;
   run.trace.records.reserve(config.probe_count);
 
   const double delta_s = config.delta.seconds();
   const double probe_service_s =
-      static_cast<double>(config.probe_bits) / config.mu_bps;
+      static_cast<double>(config.probe.count()) / config.mu.bps();
 
   // The queue is a FIFO of remaining service times (seconds); drop-tail
   // at buffer_packets entries, exactly like the simulator's Link.
@@ -87,10 +87,11 @@ ModelRun run_model(const ModelConfig& config) {
     double remaining_bits = batch_bits;
     while (remaining_bits > 0.5) {
       const double packet_bits =
-          std::min(remaining_bits, static_cast<double>(config.batch_packet_bits));
+          std::min(remaining_bits,
+                   static_cast<double>(config.batch_packet.count()));
       remaining_bits -= packet_bits;
       if (queue.size() < config.buffer_packets) {
-        const double service_s = packet_bits / config.mu_bps;
+        const double service_s = packet_bits / config.mu.bps();
         queue.push_back(service_s);
         backlog_s += service_s;
       } else {
@@ -102,13 +103,12 @@ ModelRun run_model(const ModelConfig& config) {
   return run;
 }
 
-BatchBitsDistribution bulk_interactive_mix(double bulk_probability,
+BatchBitsDistribution bulk_interactive_mix(Probability bulk_probability,
                                            double mean_bulk_packets,
-                                           std::int64_t bulk_packet_bytes,
-                                           double interactive_probability,
-                                           std::int64_t interactive_bytes) {
-  if (bulk_probability < 0.0 || interactive_probability < 0.0 ||
-      bulk_probability + interactive_probability > 1.0) {
+                                           ByteSize bulk_packet,
+                                           Probability interactive_probability,
+                                           ByteSize interactive) {
+  if (bulk_probability.value() + interactive_probability.value() > 1.0) {
     throw std::invalid_argument("bulk_interactive_mix: bad probabilities");
   }
   if (mean_bulk_packets < 1.0) {
@@ -116,13 +116,13 @@ BatchBitsDistribution bulk_interactive_mix(double bulk_probability,
   }
   return [=](Rng& rng) -> double {
     const double u = rng.uniform();
-    if (u < bulk_probability) {
+    if (u < bulk_probability.value()) {
       const auto packets = rng.geometric(1.0 / mean_bulk_packets);
       return static_cast<double>(packets) *
-             static_cast<double>(bulk_packet_bytes * 8);
+             static_cast<double>(bulk_packet.bit_count());
     }
-    if (u < bulk_probability + interactive_probability) {
-      return static_cast<double>(interactive_bytes * 8);
+    if (u < bulk_probability.value() + interactive_probability.value()) {
+      return static_cast<double>(interactive.bit_count());
     }
     return 0.0;
   };

@@ -20,6 +20,7 @@
 #include "analysis/probe_trace.h"
 #include "util/rng.h"
 #include "util/time.h"
+#include "util/units.h"
 
 namespace bolot::model {
 
@@ -27,8 +28,8 @@ namespace bolot::model {
 using BatchBitsDistribution = std::function<double(Rng&)>;
 
 struct ModelConfig {
-  double mu_bps = 128e3;              // bottleneck service rate
-  std::int64_t probe_bits = 72 * 8;   // P (wire size)
+  Bandwidth mu = Bandwidth::kbps(128);           // bottleneck service rate
+  BitSize probe = BitSize::bits(72 * 8);         // P (wire size)
   Duration delta = Duration::millis(50);
   Duration fixed_rtt = Duration::millis(140);  // D
   /// Buffer capacity in packets, counting the one in service — matching a
@@ -38,7 +39,7 @@ struct ModelConfig {
   /// Batches are split into packets of this size for buffer accounting
   /// (the cross-traffic packet size; the paper's measurements indicate
   /// ~488-512 bytes).
-  std::int64_t batch_packet_bits = 512 * 8;
+  BitSize batch_packet = BitSize::bits(512 * 8);
   /// Batch arrival phase within the interval: t_n = (n + phase) * delta.
   /// Must be in [0, 1), or negative for a uniformly random phase per
   /// interval (the general position of the paper's t_n).
@@ -63,11 +64,11 @@ ModelRun run_model(const ModelConfig& config);
 /// Paper's inferred mix: with probability p_bulk a burst of `packets`
 /// FTP-size packets (geometric, mean), otherwise a small Telnet packet or
 /// nothing.
-BatchBitsDistribution bulk_interactive_mix(double bulk_probability,
+BatchBitsDistribution bulk_interactive_mix(Probability bulk_probability,
                                            double mean_bulk_packets,
-                                           std::int64_t bulk_packet_bytes,
-                                           double interactive_probability,
-                                           std::int64_t interactive_bytes);
+                                           ByteSize bulk_packet,
+                                           Probability interactive_probability,
+                                           ByteSize interactive);
 
 /// Resamples batches from an empirical sample (e.g. the output of
 /// analysis::analyze_workload applied to a measured trace), closing the

@@ -23,11 +23,9 @@ double md1_wait_second_moment(double rho, double service_seconds) {
          rho * service_seconds * service_seconds / (3.0 * (1.0 - rho));
 }
 
-KiaDelay kia_path_delay(const std::vector<KiaHop>& hops,
-                        std::int64_t probe_wire_bytes,
-                        std::int64_t background_packet_bytes,
-                        double max_rho) {
-  if (probe_wire_bytes <= 0 || background_packet_bytes <= 0) {
+KiaDelay kia_path_delay(const std::vector<KiaHop>& hops, ByteSize probe_wire,
+                        ByteSize background_packet, double max_rho) {
+  if (probe_wire <= ByteSize::zero() || background_packet <= ByteSize::zero()) {
     throw std::invalid_argument("kia_path_delay: non-positive packet size");
   }
   if (max_rho <= 0.0 || max_rho >= 1.0) {
@@ -35,15 +33,15 @@ KiaDelay kia_path_delay(const std::vector<KiaHop>& hops,
   }
   KiaDelay delay;
   for (const KiaHop& hop : hops) {
-    if (hop.capacity_bps <= 0.0) {
+    if (!hop.capacity.is_positive()) {
       throw std::invalid_argument("kia_path_delay: non-positive capacity");
     }
-    const double rho =
-        std::min(max_rho, std::max(0.0, hop.background_bps / hop.capacity_bps));
+    const double rho = std::min(
+        max_rho, std::max(0.0, hop.background.bps() / hop.capacity.bps()));
     const double service_background =
-        static_cast<double>(background_packet_bytes * 8) / hop.capacity_bps;
+        static_cast<double>(background_packet.bit_count()) / hop.capacity.bps();
     const double service_probe =
-        static_cast<double>(probe_wire_bytes * 8) / hop.capacity_bps;
+        static_cast<double>(probe_wire.bit_count()) / hop.capacity.bps();
     const double mean_wait = md1_mean_wait_seconds(rho, service_background);
     const double second = md1_wait_second_moment(rho, service_background);
     delay.mean_seconds += mean_wait + service_probe + hop.propagation.seconds();

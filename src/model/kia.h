@@ -15,14 +15,15 @@
 #include <vector>
 
 #include "util/time.h"
+#include "util/units.h"
 
 namespace bolot::model {
 
 /// One directed hop as the KIA sees it.
 struct KiaHop {
-  double capacity_bps = 1e6;
+  Bandwidth capacity = Bandwidth::mbps(1);
   /// Mean background demand crossing the hop (the fluid aggregate rate).
-  double background_bps = 0.0;
+  Bandwidth background = Bandwidth::zero();
   Duration propagation;
 };
 
@@ -39,13 +40,11 @@ struct KiaDelay {
 double md1_mean_wait_seconds(double rho, double service_seconds);
 double md1_wait_second_moment(double rho, double service_seconds);
 
-/// Path delay of one `probe_wire_bytes` packet crossing `hops`, each
-/// loaded by Poisson background of `background_packet_bytes` packets.
-/// `max_rho` caps the per-hop utilization (mirror of the fluid engine's
+/// Path delay of one `probe_wire` packet crossing `hops`, each loaded by
+/// Poisson background of `background_packet` packets.  `max_rho` caps the
+/// per-hop utilization (mirror of the fluid engine's
 /// min_residual_fraction, which keeps oversubscribed hops finite).
-KiaDelay kia_path_delay(const std::vector<KiaHop>& hops,
-                        std::int64_t probe_wire_bytes,
-                        std::int64_t background_packet_bytes,
-                        double max_rho = 0.99);
+KiaDelay kia_path_delay(const std::vector<KiaHop>& hops, ByteSize probe_wire,
+                        ByteSize background_packet, double max_rho = 0.99);
 
 }  // namespace bolot::model

@@ -69,7 +69,7 @@ void deposit(std::vector<double>& pmf, double pos, double mass) {
 StationaryDistribution solve_stationary_waits(
     const ModelConfig& config, const std::vector<BatchAtom>& batch_pmf,
     const StationaryOptions& options) {
-  if (config.mu_bps <= 0.0 || config.probe_bits <= 0 ||
+  if (!config.mu.is_positive() || config.probe <= BitSize::zero() ||
       config.delta <= Duration::zero()) {
     throw std::invalid_argument("solve_stationary_waits: bad model config");
   }
@@ -94,10 +94,10 @@ StationaryDistribution solve_stationary_waits(
 
   const double delta_ms = config.delta.millis();
   const double service_ms =
-      static_cast<double>(config.probe_bits) / config.mu_bps * 1e3;
+      static_cast<double>(config.probe.count()) / config.mu.bps() * 1e3;
   const double buffer_ms = static_cast<double>(config.buffer_packets) *
-                           static_cast<double>(config.batch_packet_bits) /
-                           config.mu_bps * 1e3;
+                           static_cast<double>(config.batch_packet.count()) /
+                           config.mu.bps() * 1e3;
   const double h = options.grid_ms;
   const auto cells = static_cast<std::size_t>(std::ceil(buffer_ms / h)) + 2;
 
@@ -123,7 +123,7 @@ StationaryDistribution solve_stationary_waits(
         const double before_batch =
             std::max(0.0, w_ms + service_ms - phase * delta_ms);
         for (const auto& [bits, probability] : batch_pmf) {
-          const double batch_ms = bits / config.mu_bps * 1e3;
+          const double batch_ms = bits / config.mu.bps() * 1e3;
           const double with_batch =
               std::min(buffer_ms, before_batch + batch_ms);
           const double w_next =

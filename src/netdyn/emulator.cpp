@@ -18,11 +18,11 @@ PathEmulator::PathEmulator(std::uint16_t listen_port,
       client_side_(listen_port),
       upstream_side_(0),
       rng_(config.seed) {
-  if (config_.rate_bps < 0.0 || config_.loss_probability < 0.0 ||
-      config_.loss_probability >= 1.0) {
+  if (config_.rate < Bandwidth::zero() ||
+      config_.loss_probability >= Probability::one()) {
     throw std::invalid_argument("PathEmulator: bad configuration");
   }
-  if (config_.rate_bps > 0.0 && config_.buffer_packets == 0) {
+  if (config_.rate.is_positive() && config_.buffer_packets == 0) {
     throw std::invalid_argument("PathEmulator: buffer must be positive");
   }
 }
@@ -51,16 +51,16 @@ PathEmulatorStats PathEmulator::stats() const {
 
 void PathEmulator::admit(bool to_target, std::vector<std::byte> payload,
                          Duration now) {
-  if (config_.loss_probability > 0.0 &&
-      rng_.chance(config_.loss_probability)) {
+  if (!config_.loss_probability.is_zero() &&
+      rng_.chance(config_.loss_probability.value())) {
     random_drops_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   Duration depart = now;
-  if (config_.rate_bps > 0.0) {
+  if (config_.rate.is_positive()) {
     Duration& busy_until = busy_until_[to_target ? 0 : 1];
     const Duration service = transmission_time(
-        static_cast<std::int64_t>(payload.size()) * 8, config_.rate_bps);
+        static_cast<std::int64_t>(payload.size()) * 8, config_.rate.bps());
     const Duration start = std::max(now, busy_until);
     // Drop-tail: the backlog ahead of this packet, in packets, is the
     // queued service time over this packet's service time.

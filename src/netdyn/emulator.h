@@ -28,15 +28,16 @@
 #include "netdyn/udp_socket.h"
 #include "util/rng.h"
 #include "util/time.h"
+#include "util/units.h"
 
 namespace bolot::netdyn {
 
 struct PathEmulatorConfig {
   Endpoint target;                       // upstream destination
   Duration one_way_delay = Duration::millis(52);
-  double rate_bps = 128e3;               // 0 = no serialization delay
-  std::size_t buffer_packets = 14;       // per direction, when rate-limited
-  double loss_probability = 0.0;         // per traversal, each direction
+  Bandwidth rate = Bandwidth::kbps(128);  // zero = no serialization delay
+  std::size_t buffer_packets = 14;        // per direction, when rate-limited
+  Probability loss_probability = Probability::zero();  // per traversal/dir
   std::uint64_t seed = 1;
 };
 

@@ -166,7 +166,8 @@ inline std::size_t watch_backlog_work_ms(Sampler& sampler,
                                          const sim::Link& link) {
   return sampler.add_series(
       link.config().name + ".backlog_work_ms", [&link] {
-        return link.service_time(link.backlog_bytes()).millis();
+        return link.service_time(ByteSize::bytes(link.backlog_bytes()))
+            .millis();
       });
 }
 

@@ -19,17 +19,17 @@ namespace {
 
 /// One hop of the probe path.
 struct HopSpec {
-  double rate_bps;
+  Bandwidth rate;
   Duration propagation;
   std::size_t buffer_packets;
-  double random_drop = 0.0;  // faulty-interface loss per traversal
-  std::optional<sim::RedConfig> red;
+  Probability random_drop = Probability::zero();  // faulty-interface loss
+  std::optional<sim::RedConfig> red = std::nullopt;
   /// Forward-direction-only stages: the probe direction carries the
   /// modeled channel / trace-driven transmitter, the reverse (echo)
   /// direction stays an ideal constant-rate link so measured loss
   /// attributes cleanly.
-  std::optional<sim::MarkovChannelConfig> channel;
-  std::shared_ptr<const sim::DeliverySchedule> schedule;
+  std::optional<sim::MarkovChannelConfig> channel = std::nullopt;
+  std::shared_ptr<const sim::DeliverySchedule> schedule = nullptr;
 };
 
 struct ChainSpec {
@@ -104,7 +104,7 @@ ScenarioResult run_chain(const ChainSpec& spec, const ProbePlan& plan,
     const HopSpec& hop = spec.hops[h];
     sim::LinkConfig config;
     config.name = spec.names[h] + "->" + spec.names[h + 1];
-    config.rate_bps = hop.rate_bps;
+    config.rate = hop.rate;
     config.propagation = hop.propagation;
     config.buffer_packets = hop.buffer_packets;
     config.random_drop_probability = hop.random_drop;
@@ -133,11 +133,11 @@ ScenarioResult run_chain(const ChainSpec& spec, const ProbePlan& plan,
   // links, so their packets traverse exactly the bottleneck link.
   const sim::NodeId upstream = path[spec.bottleneck_hop];
   const sim::NodeId downstream = path[spec.bottleneck_hop + 1];
-  const double mu = spec.hops[spec.bottleneck_hop].rate_bps;
+  const Bandwidth mu = spec.hops[spec.bottleneck_hop].rate;
 
   sim::LinkConfig access;
   access.name = "cross-access";
-  access.rate_bps = std::max(10e6, mu * 10.0);
+  access.rate = Bandwidth::bps(std::max(10e6, mu.bps() * 10.0));
   access.propagation = Duration::micros(100);
   access.buffer_packets = 2000;
   const sim::NodeId host_up = net.add_node("cross-host-upstream");
@@ -154,13 +154,13 @@ ScenarioResult run_chain(const ChainSpec& spec, const ProbePlan& plan,
 
   const auto add_direction = [&](sim::Simulator& src_sim, sim::NodeId from,
                                  sim::NodeId to, double scale) {
-    const double session_bps = cross.session_load * mu * scale;
+    const double session_bps = cross.session_load * mu.bps() * scale;
     if (session_bps > 0.0) {
       sim::FtpSessionConfig session;
       session.mean_session = cross.mean_session;
       session.pace_load = cross.session_pace;
-      session.bottleneck_bps = mu;
-      session.packet_bytes = cross.bulk_packet_bytes;
+      session.bottleneck = mu;
+      session.packet = cross.bulk_packet;
       // mean_idle chosen so the long-run average share is session_load:
       // on_fraction = session_load * scale / session_pace.
       const double on_fraction =
@@ -171,32 +171,32 @@ ScenarioResult run_chain(const ChainSpec& spec, const ProbePlan& plan,
           src_sim, net, from, to, next_flow++, sim::PacketKind::kBulk,
           rng.split(), session));
     }
-    const double bulk_bps = cross.bulk_load * mu * scale;
+    const double bulk_bps = cross.bulk_load * mu.bps() * scale;
     if (bulk_bps > 0.0) {
       const double burst_bits =
           cross.mean_burst_packets *
-          static_cast<double>(cross.bulk_packet_bytes * 8);
+          static_cast<double>(cross.bulk_packet.bit_count());
       sim::BurstConfig burst;
       burst.mean_burst_gap = Duration::seconds(burst_bits / bulk_bps);
       burst.mean_burst_packets = cross.mean_burst_packets;
-      burst.packet_bytes = cross.bulk_packet_bytes;
+      burst.packet = cross.bulk_packet;
       // Bursts are clocked out at the access rate, i.e. effectively
       // back-to-back as seen by the (much slower) bottleneck.
-      burst.in_burst_spacing = transmission_time(
-          cross.bulk_packet_bytes * 8, access.rate_bps);
+      burst.in_burst_spacing = access.rate.transmission_time(
+          cross.bulk_packet);
       sources.push_back(std::make_unique<sim::BurstSource>(
           src_sim, net, from, to, next_flow++, sim::PacketKind::kBulk,
           rng.split(), burst));
     }
-    const double interactive_bps = cross.interactive_load * mu * scale;
+    const double interactive_bps = cross.interactive_load * mu.bps() * scale;
     if (interactive_bps > 0.0) {
       const double pkt_bits =
-          static_cast<double>(cross.interactive_packet_bytes * 8);
+          static_cast<double>(cross.interactive_packet.bit_count());
       sources.push_back(std::make_unique<sim::PoissonSource>(
           src_sim, net, from, to, next_flow++,
           sim::PacketKind::kInteractive, rng.split(),
           Duration::seconds(pkt_bits / interactive_bps),
-          cross.interactive_packet_bytes));
+          cross.interactive_packet));
     }
   };
   add_direction(up_sim, host_up, host_down, 1.0);
@@ -207,7 +207,7 @@ ScenarioResult run_chain(const ChainSpec& spec, const ProbePlan& plan,
   sim::EchoHost echo(sim_of(path_domain(n_path - 1)), net, path.back());
   sim::ProbeSourceConfig probe_config;
   probe_config.delta = plan.delta;
-  probe_config.probe_wire_bytes = plan.probe_wire_bytes;
+  probe_config.probe_wire = plan.probe_wire;
   probe_config.probe_count = plan.probe_count();
   if (spec.source_clock_tick > Duration::zero()) {
     probe_config.clock_tick = spec.source_clock_tick;
@@ -301,21 +301,21 @@ ChainSpec inria_umd_spec(const ScenarioOverrides& overrides) {
   // Rates/propagations chosen so the fixed round-trip delay is ~140 ms
   // (Fig. 2) with the 128 kb/s transatlantic hop as bottleneck (Table 1).
   spec.hops = {
-      {10e6, Duration::millis(0.2), 100, 0.0, {}},    // tom -> t8-gw
-      {10e6, Duration::millis(0.3), 100, 0.0, {}},    // t8-gw -> sophia-gw
-      {2e6, Duration::millis(1.0), 80, 0.0, {}},      // sophia-gw -> icm-sophia
-      {128e3, Duration::millis(52.0), 14, 0.0, {}},   // transatlantic (bottleneck)
-      {45e6, Duration::millis(0.1), 200, 0.0, {}},    // Ithaca NSS internal
-      {1.544e6, Duration::millis(8.0), 60, 0.0, {}},  // NSS -> SURAnet
-      {1.544e6, Duration::millis(2.0), 60, 0.011, {}},  // SURAnet (faulty card)
-      {10e6, Duration::millis(0.3), 100, 0.011, {}},    // SURAnet -> UMd (faulty)
-      {10e6, Duration::millis(0.2), 100, 0.0, {}},    // UMd campus
+      {Bandwidth::bps(10e6), Duration::millis(0.2), 100, Probability::zero(), {}},    // tom -> t8-gw
+      {Bandwidth::bps(10e6), Duration::millis(0.3), 100, Probability::zero(), {}},    // t8-gw -> sophia-gw
+      {Bandwidth::bps(2e6), Duration::millis(1.0), 80, Probability::zero(), {}},      // sophia-gw -> icm-sophia
+      {Bandwidth::bps(128e3), Duration::millis(52.0), 14, Probability::zero(), {}},   // transatlantic (bottleneck)
+      {Bandwidth::bps(45e6), Duration::millis(0.1), 200, Probability::zero(), {}},    // Ithaca NSS internal
+      {Bandwidth::bps(1.544e6), Duration::millis(8.0), 60, Probability::zero(), {}},  // NSS -> SURAnet
+      {Bandwidth::bps(1.544e6), Duration::millis(2.0), 60, Probability::checked(0.011), {}},  // SURAnet (faulty card)
+      {Bandwidth::bps(10e6), Duration::millis(0.3), 100, Probability::checked(0.011), {}},    // SURAnet -> UMd (faulty)
+      {Bandwidth::bps(10e6), Duration::millis(0.2), 100, Probability::zero(), {}},    // UMd campus
   };
   spec.bottleneck_hop = 3;
   spec.source_clock_tick = kDecstationTick;  // DECstation 5000
 
-  if (overrides.bottleneck_bps) {
-    spec.hops[spec.bottleneck_hop].rate_bps = *overrides.bottleneck_bps;
+  if (overrides.bottleneck_rate) {
+    spec.hops[spec.bottleneck_hop].rate = *overrides.bottleneck_rate;
   }
   if (overrides.bottleneck_buffer_packets) {
     spec.hops[spec.bottleneck_hop].buffer_packets =
@@ -345,25 +345,25 @@ ChainSpec umd_pitt_spec(const ScenarioOverrides& overrides) {
   // bottleneck ("very likely that the bottleneck bandwidth is much higher
   // than ... 128 kb/s").  Fixed RTT ~ 25 ms.
   spec.hops = {
-      {10e6, Duration::millis(0.2), 100, 0.0, {}},   // lena -> avw1hub
-      {10e6, Duration::millis(0.2), 100, 0.0, {}},   // avw1hub -> csc2hub
-      {10e6, Duration::millis(0.3), 100, 0.0, {}},   // csc2hub -> 192.221.38.5
-      {45e6, Duration::millis(0.5), 200, 0.0, {}},   // -> enss136
-      {45e6, Duration::millis(1.0), 200, 0.0, {}},   // -> DC cnss58
-      {45e6, Duration::millis(0.3), 200, 0.0, {}},   // -> DC cnss56
-      {45e6, Duration::millis(2.5), 200, 0.0, {}},   // -> New York cnss32
-      {45e6, Duration::millis(4.0), 200, 0.0, {}},   // -> Cleveland cnss40
-      {45e6, Duration::millis(0.3), 200, 0.0, {}},   // -> Cleveland cnss41
-      {45e6, Duration::millis(1.5), 200, 0.0, {}},   // -> enss132
-      {10e6, Duration::millis(0.5), 60, 0.0, {}},    // -> externals.gw.pitt.edu
-      {10e6, Duration::millis(0.3), 60, 0.0, {}},    // -> 136.142.2.54 (bottleneck)
-      {10e6, Duration::millis(0.2), 60, 0.0, {}},    // -> hub-eh.gw.pitt.edu
+      {Bandwidth::bps(10e6), Duration::millis(0.2), 100, Probability::zero(), {}},   // lena -> avw1hub
+      {Bandwidth::bps(10e6), Duration::millis(0.2), 100, Probability::zero(), {}},   // avw1hub -> csc2hub
+      {Bandwidth::bps(10e6), Duration::millis(0.3), 100, Probability::zero(), {}},   // csc2hub -> 192.221.38.5
+      {Bandwidth::bps(45e6), Duration::millis(0.5), 200, Probability::zero(), {}},   // -> enss136
+      {Bandwidth::bps(45e6), Duration::millis(1.0), 200, Probability::zero(), {}},   // -> DC cnss58
+      {Bandwidth::bps(45e6), Duration::millis(0.3), 200, Probability::zero(), {}},   // -> DC cnss56
+      {Bandwidth::bps(45e6), Duration::millis(2.5), 200, Probability::zero(), {}},   // -> New York cnss32
+      {Bandwidth::bps(45e6), Duration::millis(4.0), 200, Probability::zero(), {}},   // -> Cleveland cnss40
+      {Bandwidth::bps(45e6), Duration::millis(0.3), 200, Probability::zero(), {}},   // -> Cleveland cnss41
+      {Bandwidth::bps(45e6), Duration::millis(1.5), 200, Probability::zero(), {}},   // -> enss132
+      {Bandwidth::bps(10e6), Duration::millis(0.5), 60, Probability::zero(), {}},    // -> externals.gw.pitt.edu
+      {Bandwidth::bps(10e6), Duration::millis(0.3), 60, Probability::zero(), {}},    // -> 136.142.2.54 (bottleneck)
+      {Bandwidth::bps(10e6), Duration::millis(0.2), 60, Probability::zero(), {}},    // -> hub-eh.gw.pitt.edu
   };
   spec.bottleneck_hop = 11;
   spec.source_clock_tick = kUmdPittClockTick;
 
-  if (overrides.bottleneck_bps) {
-    spec.hops[spec.bottleneck_hop].rate_bps = *overrides.bottleneck_bps;
+  if (overrides.bottleneck_rate) {
+    spec.hops[spec.bottleneck_hop].rate = *overrides.bottleneck_rate;
   }
   if (overrides.bottleneck_buffer_packets) {
     spec.hops[spec.bottleneck_hop].buffer_packets =
@@ -440,17 +440,17 @@ ChainSpec inria_europe_spec(const ScenarioOverrides& overrides) {
   // Six hops inside Europe; the 2 Mb/s national backbone segment is the
   // bottleneck.  Fixed RTT ~ 45 ms.
   spec.hops = {
-      {10e6, Duration::millis(0.3), 100, 0.0, {}},   // tom -> t8-gw
-      {10e6, Duration::millis(0.5), 100, 0.0, {}},   // t8-gw -> sophia-gw
-      {2e6, Duration::millis(8.0), 30, 0.0, {}},     // national backbone (bneck)
-      {2e6, Duration::millis(9.0), 60, 0.004, {}},   // cross-border segment
-      {10e6, Duration::millis(2.0), 100, 0.0, {}},   // destination campus
+      {Bandwidth::bps(10e6), Duration::millis(0.3), 100, Probability::zero(), {}},   // tom -> t8-gw
+      {Bandwidth::bps(10e6), Duration::millis(0.5), 100, Probability::zero(), {}},   // t8-gw -> sophia-gw
+      {Bandwidth::bps(2e6), Duration::millis(8.0), 30, Probability::zero(), {}},     // national backbone (bneck)
+      {Bandwidth::bps(2e6), Duration::millis(9.0), 60, Probability::checked(0.004), {}},   // cross-border segment
+      {Bandwidth::bps(10e6), Duration::millis(2.0), 100, Probability::zero(), {}},   // destination campus
   };
   spec.bottleneck_hop = 2;
   spec.source_clock_tick = kDecstationTick;  // same INRIA source host
 
-  if (overrides.bottleneck_bps) {
-    spec.hops[spec.bottleneck_hop].rate_bps = *overrides.bottleneck_bps;
+  if (overrides.bottleneck_rate) {
+    spec.hops[spec.bottleneck_hop].rate = *overrides.bottleneck_rate;
   }
   if (overrides.bottleneck_buffer_packets) {
     spec.hops[spec.bottleneck_hop].buffer_packets =
@@ -483,9 +483,9 @@ ScenarioResult run_umd_pitt(const ProbePlan& plan,
   defaults.session_load = 0.22;
   defaults.bulk_load = 0.45;
   defaults.mean_burst_packets = 30.0;
-  defaults.bulk_packet_bytes = 1500;
+  defaults.bulk_packet = ByteSize::bytes(1500);
   defaults.interactive_load = 0.08;
-  defaults.interactive_packet_bytes = 128;
+  defaults.interactive_packet = ByteSize::bytes(128);
   const CrossTraffic cross = overrides.cross_traffic.value_or(defaults);
   return run_chain(spec, plan, cross, overrides);
 }

@@ -30,6 +30,7 @@
 #include "sim/link.h"
 #include "sim/network.h"
 #include "util/time.h"
+#include "util/units.h"
 
 namespace bolot::scenario {
 
@@ -37,7 +38,7 @@ namespace bolot::scenario {
 struct ProbePlan {
   Duration delta = Duration::millis(50);
   Duration duration = Duration::minutes(10);
-  std::int64_t probe_wire_bytes = 72;  // 32-byte payload + UDP/IP headers
+  ByteSize probe_wire = ByteSize::bytes(72);  // 32-byte payload + UDP/IP hdrs
   std::uint64_t seed = 1993;
 
   std::uint64_t probe_count() const {
@@ -62,8 +63,8 @@ struct CrossTraffic {
   double mean_burst_packets = 8.0;
   double interactive_load = 0.10; // Telnet-like share, forward
   double reverse_scale = 0.35;    // reverse-direction load multiplier
-  std::int64_t bulk_packet_bytes = 512;
-  std::int64_t interactive_packet_bytes = 64;
+  ByteSize bulk_packet = ByteSize::bytes(512);
+  ByteSize interactive_packet = ByteSize::bytes(64);
 };
 
 /// Background-traffic population for generated-topology runs
@@ -74,9 +75,9 @@ struct CrossTraffic {
 struct FluidBackgroundConfig {
   std::size_t flows = 10000;
   /// On/off shape of each flow: peak rate, fraction of time on, cycle.
-  /// flow_peak_bps == 0 auto-calibrates the peak so the busiest link
+  /// A zero flow_peak auto-calibrates the peak so the busiest link
   /// carries `max_link_load` of its capacity in mean background demand.
-  double flow_peak_bps = 0.0;
+  Bandwidth flow_peak = Bandwidth::zero();
   double duty = 0.5;
   Duration period = Duration::seconds(2);
   double max_link_load = 0.5;
@@ -84,7 +85,7 @@ struct FluidBackgroundConfig {
   /// kResidualRate drains probes at the residual capacity; kMd1Wait adds
   /// a sampled M/D/1 wait that also matches delay variance.
   sim::FluidQueueModel queue_model = sim::FluidQueueModel::kResidualRate;
-  std::int64_t mean_packet_bytes = 512;
+  ByteSize mean_packet = ByteSize::bytes(512);
   /// Optional K-state envelope modulation of each fluid link's aggregate
   /// demand (0 = constant mean demand).  The envelope is the only event
   /// source a fluid link has: O(1) per link, independent of flow count.
@@ -95,11 +96,11 @@ struct FluidBackgroundConfig {
 };
 
 struct ScenarioOverrides {
-  std::optional<double> bottleneck_bps;
+  std::optional<Bandwidth> bottleneck_rate;
   std::optional<std::size_t> bottleneck_buffer_packets;
   /// RED at the bottleneck (both directions) instead of drop-tail.
   std::optional<sim::RedConfig> bottleneck_red;
-  std::optional<double> faulty_interface_drop;  // per faulty link direction
+  std::optional<Probability> faulty_interface_drop;  // per faulty link dir
   std::optional<CrossTraffic> cross_traffic;
   /// Clock quantization at the source host; nullopt keeps the scenario's
   /// historically accurate tick, Duration::zero() disables quantization.
@@ -181,9 +182,9 @@ struct ScenarioResult {
   /// min-hop tie-breaking need not mirror), with the mean fluid demand
   /// each carries.  Exactly what the KIA cross-check (model/kia.h) needs.
   struct ProbeHop {
-    double capacity_bps = 0.0;
+    Bandwidth capacity = Bandwidth::zero();
     Duration propagation;
-    double fluid_bps = 0.0;
+    Bandwidth fluid = Bandwidth::zero();
   };
   std::vector<ProbeHop> probe_hops;
 };
@@ -221,10 +222,10 @@ const std::vector<std::string>& umd_pitt_route_names();
 const std::vector<std::string>& inria_europe_route_names();
 
 /// Scenario constants, exposed for benches and tests.
-inline constexpr double kInriaUmdBottleneckBps = 128e3;
+inline constexpr Bandwidth kInriaUmdBottleneck = Bandwidth::kbps(128);
 inline constexpr Duration kInriaUmdFixedRtt = Duration::millis(140);
-inline constexpr double kUmdPittBottleneckBps = 10e6;
+inline constexpr Bandwidth kUmdPittBottleneck = Bandwidth::mbps(10);
 inline constexpr Duration kUmdPittClockTick = Duration::millis(3);
-inline constexpr double kInriaEuropeBottleneckBps = 2e6;
+inline constexpr Bandwidth kInriaEuropeBottleneck = Bandwidth::mbps(2);
 
 }  // namespace bolot::scenario

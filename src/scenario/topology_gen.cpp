@@ -84,7 +84,7 @@ TopologyPlan generate_fat_tree(const TopologySpec& spec) {
                                   std::to_string(h),
                               p, true});
         plan.hosts.push_back(id);
-        plan.edges.push_back({pod_edges[p][e], id, spec.edge_rate_bps,
+        plan.edges.push_back({pod_edges[p][e], id, spec.edge_rate,
                               jittered(spec.edge_propagation,
                                        spec.propagation_jitter, stream),
                               spec.edge_buffer_packets});
@@ -94,7 +94,7 @@ TopologyPlan generate_fat_tree(const TopologySpec& spec) {
     for (std::size_t e = 0; e < half; ++e) {
       for (std::size_t a = 0; a < half; ++a) {
         plan.edges.push_back({pod_edges[p][e], pod_aggs[p][a],
-                              spec.aggregation_rate_bps,
+                              spec.aggregation_rate,
                               jittered(spec.aggregation_propagation,
                                        spec.propagation_jitter, stream),
                               spec.core_buffer_packets});
@@ -111,7 +111,7 @@ TopologyPlan generate_fat_tree(const TopologySpec& spec) {
                                 std::to_string(j),
                             (r * half + j) % k, false});
       for (std::size_t p = 0; p < k; ++p) {
-        plan.edges.push_back({pod_aggs[p][r], core, spec.core_rate_bps,
+        plan.edges.push_back({pod_aggs[p][r], core, spec.core_rate,
                               jittered(spec.core_propagation,
                                        spec.propagation_jitter, stream),
                               spec.core_buffer_packets});
@@ -140,7 +140,7 @@ TopologyPlan generate_as_hierarchy(const TopologySpec& spec) {
   // Full transit mesh between core routers.
   for (std::size_t i = 0; i < spec.core_count; ++i) {
     for (std::size_t j = i + 1; j < spec.core_count; ++j) {
-      plan.edges.push_back({cores[i], cores[j], spec.core_rate_bps,
+      plan.edges.push_back({cores[i], cores[j], spec.core_rate,
                             jittered(spec.core_propagation,
                                      spec.propagation_jitter, stream),
                             spec.core_buffer_packets});
@@ -155,7 +155,7 @@ TopologyPlan generate_as_hierarchy(const TopologySpec& spec) {
           "as" + std::to_string(c) + "-stub" + std::to_string(s);
       plan.nodes.push_back({name, c, false});
       stubs.push_back(stub);
-      plan.edges.push_back({cores[c], stub, spec.aggregation_rate_bps,
+      plan.edges.push_back({cores[c], stub, spec.aggregation_rate,
                             jittered(spec.aggregation_propagation,
                                      spec.propagation_jitter, stream),
                             spec.core_buffer_packets});
@@ -164,7 +164,7 @@ TopologyPlan generate_as_hierarchy(const TopologySpec& spec) {
             static_cast<std::uint32_t>(plan.nodes.size());
         plan.nodes.push_back({name + "-host" + std::to_string(h), c, true});
         plan.hosts.push_back(host);
-        plan.edges.push_back({stub, host, spec.edge_rate_bps,
+        plan.edges.push_back({stub, host, spec.edge_rate,
                               jittered(spec.edge_propagation,
                                        spec.propagation_jitter, stream),
                               spec.edge_buffer_packets});
@@ -192,7 +192,7 @@ TopologyPlan generate_as_hierarchy(const TopologySpec& spec) {
     }
     if (duplicate) continue;
     peered.emplace_back(lo, hi);
-    plan.edges.push_back({lo, hi, spec.aggregation_rate_bps,
+    plan.edges.push_back({lo, hi, spec.aggregation_rate,
                           jittered(spec.aggregation_propagation,
                                    spec.propagation_jitter, stream),
                           spec.core_buffer_packets});
@@ -215,7 +215,7 @@ std::uint64_t TopologyPlan::wiring_digest() const {
   for (const EdgeSpec& edge : edges) {
     fnv.mix(edge.a);
     fnv.mix(edge.b);
-    fnv.mix(double_bits(edge.rate_bps));
+    fnv.mix(double_bits(edge.rate.bps()));
     fnv.mix(static_cast<std::uint64_t>(edge.propagation.count_nanos()));
     fnv.mix(edge.buffer_packets);
   }
@@ -258,7 +258,7 @@ BuiltTopology instantiate_topology(
     sim::LinkConfig config;
     config.name =
         plan.nodes[edge.a].name + "<->" + plan.nodes[edge.b].name;
-    config.rate_bps = edge.rate_bps;
+    config.rate = edge.rate;
     config.propagation = edge.propagation;
     config.buffer_packets = edge.buffer_packets;
     net.add_duplex_link(built.nodes[edge.a], built.nodes[edge.b], config,

@@ -26,6 +26,7 @@
 
 #include "sim/network.h"
 #include "util/time.h"
+#include "util/units.h"
 
 namespace bolot::scenario {
 
@@ -46,9 +47,9 @@ struct TopologySpec {
   std::size_t peer_links = 2;
 
   // --- per-tier link parameters (shared by both families) ---
-  double core_rate_bps = 100e6;
-  double aggregation_rate_bps = 40e6;
-  double edge_rate_bps = 10e6;
+  Bandwidth core_rate = Bandwidth::bps(100e6);
+  Bandwidth aggregation_rate = Bandwidth::bps(40e6);
+  Bandwidth edge_rate = Bandwidth::bps(10e6);
   Duration core_propagation = Duration::millis(2);
   Duration aggregation_propagation = Duration::millis(1);
   Duration edge_propagation = Duration::micros(200);
@@ -69,7 +70,7 @@ struct TopologyPlan {
   };
   struct EdgeSpec {
     std::uint32_t a = 0, b = 0;  // indices into nodes; instantiated duplex
-    double rate_bps = 0.0;
+    Bandwidth rate = Bandwidth::zero();
     Duration propagation;
     std::size_t buffer_packets = 0;
   };

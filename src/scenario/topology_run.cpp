@@ -200,13 +200,13 @@ ScenarioResult run_topology(const ProbePlan& plan,
   // unit_demand[uid] / capacity; scale so the busiest link carries
   // max_link_load.  All background flows count — fluid and packetized
   // alike load the fabric.
-  double peak = background.flow_peak_bps;
+  double peak = background.flow_peak.bps();
   if (peak <= 0.0) {
     double worst = 0.0;
     for (std::size_t i = 0; i < net.link_count(); ++i) {
       if (unit_demand[i] > 0.0) {
         worst = std::max(worst,
-                         unit_demand[i] / net.link_at(i).config().rate_bps);
+                         unit_demand[i] / net.link_at(i).config().rate.bps());
       }
     }
     peak = worst > 0.0 ? background.max_link_load / worst : 0.0;
@@ -225,7 +225,7 @@ ScenarioResult run_topology(const ProbePlan& plan,
     const Duration phase = Duration::nanos(static_cast<std::int64_t>(
         (static_cast<double>(f) / static_cast<double>(background.flows)) *
         static_cast<double>(background.period.count_nanos())));
-    table.add_flow(f, route, static_cast<float>(peak),
+    table.add_flow(f, route, Bandwidth::bps(peak),
                    static_cast<float>(background.duty), background.period,
                    phase);
   }
@@ -242,14 +242,14 @@ ScenarioResult run_topology(const ProbePlan& plan,
   std::vector<sim::FluidAggregate*> by_link(net.link_count(), nullptr);
   const bool modulated = background.envelope_states >= 2;
   for (std::size_t i = 0; i < net.link_count(); ++i) {
-    const double demand = table.link_demand_bps(static_cast<std::uint32_t>(i));
-    if (demand <= 0.0) continue;
+    const Bandwidth demand = table.link_demand(static_cast<std::uint32_t>(i));
+    if (!demand.is_positive()) continue;
     sim::Link& link = net.link_at(i);
     sim::Simulator& link_sim = sim_of(domain_of_node[net.link_source(i)]);
     sim::FluidAggregateConfig config;
-    config.capacity_bps = link.config().rate_bps;
+    config.capacity = link.config().rate;
     config.queue_model = background.queue_model;
-    config.mean_packet_bytes = background.mean_packet_bytes;
+    config.mean_packet = background.mean_packet;
     aggregates[i] = std::make_unique<sim::FluidAggregate>(
         link_sim, config,
         Rng(derive_stream_seed(background.seed ^ 0xF1u, i)));
@@ -278,7 +278,7 @@ ScenarioResult run_topology(const ProbePlan& plan,
   const double mean_flow_bps = peak * background.duty;
   if (!packet_flows.empty() && mean_flow_bps > 0.0) {
     const double packet_bits =
-        static_cast<double>(background.mean_packet_bytes * 8);
+        static_cast<double>(background.mean_packet.bit_count());
     const Duration mean_interarrival =
         Duration::seconds(packet_bits / mean_flow_bps);
     for (const std::size_t f : packet_flows) {
@@ -286,7 +286,7 @@ ScenarioResult run_topology(const ProbePlan& plan,
           sim_of(domain_of_node[flow_ends[f].first]), net, flow_ends[f].first,
           flow_ends[f].second, next_flow++, sim::PacketKind::kBulk,
           packet_rng.split(), mean_interarrival,
-          background.mean_packet_bytes));
+          background.mean_packet));
     }
   }
 
@@ -294,7 +294,7 @@ ScenarioResult run_topology(const ProbePlan& plan,
   sim::EchoHost echo(sim_of(domain_of_node[probe_dst]), net, probe_dst);
   sim::ProbeSourceConfig probe_config;
   probe_config.delta = plan.delta;
-  probe_config.probe_wire_bytes = plan.probe_wire_bytes;
+  probe_config.probe_wire = plan.probe_wire;
   probe_config.probe_count = plan.probe_count();
   if (overrides.clock_tick && *overrides.clock_tick > Duration::zero()) {
     probe_config.clock_tick = *overrides.clock_tick;
@@ -306,8 +306,8 @@ ScenarioResult run_topology(const ProbePlan& plan,
   // the result (generated fabrics have no designated bottleneck hop).
   std::uint32_t bneck_uid = probe_fwd.front();
   for (const std::uint32_t uid : probe_fwd) {
-    if (net.link_at(uid).config().rate_bps <
-        net.link_at(bneck_uid).config().rate_bps) {
+    if (net.link_at(uid).config().rate <
+        net.link_at(bneck_uid).config().rate) {
       bneck_uid = uid;
     }
   }
@@ -378,9 +378,9 @@ ScenarioResult run_topology(const ProbePlan& plan,
   result.probe_hops.reserve(round_trip.size());
   for (const std::uint32_t uid : round_trip) {
     ScenarioResult::ProbeHop hop;
-    hop.capacity_bps = net.link_at(uid).config().rate_bps;
+    hop.capacity = net.link_at(uid).config().rate;
     hop.propagation = net.link_at(uid).config().propagation;
-    hop.fluid_bps = table.link_demand_bps(uid);
+    hop.fluid = table.link_demand(uid);
     result.probe_hops.push_back(hop);
   }
   return result;

@@ -31,9 +31,8 @@ void MarkovChannelConfig::validate() const {
   }
   if (initial_state >= n) bad_config("initial_state out of range");
   for (const ChannelState& s : states) {
-    if (!(s.drop_probability >= 0.0 && s.drop_probability <= 1.0)) {
-      bad_config("drop_probability outside [0, 1]");
-    }
+    // drop_probability is a Probability: the [0, 1] range is enforced by
+    // its checked constructor, so only the delays need validating here.
     if (s.extra_delay.is_negative() || s.extra_delay_jitter.is_negative()) {
       bad_config("negative extra delay");
     }
@@ -52,14 +51,15 @@ void MarkovChannelConfig::validate() const {
 }
 
 MarkovChannelConfig MarkovChannelConfig::gilbert_elliott(
-    double p, double q, double good_drop, double bad_drop,
+    Probability p, Probability q, Probability good_drop, Probability bad_drop,
     Duration bad_extra_delay) {
   MarkovChannelConfig config;
   config.states = {
       ChannelState{good_drop, Duration::zero(), Duration::zero()},
       ChannelState{bad_drop, bad_extra_delay, Duration::zero()},
   };
-  config.transitions = {1.0 - p, p, q, 1.0 - q};
+  config.transitions = {p.complement().value(), p.value(), q.value(),
+                        q.complement().value()};
   config.initial_state = 0;
   config.validate();
   return config;
@@ -71,17 +71,22 @@ MarkovChannelConfig MarkovChannelConfig::from_gilbert_fit(
     bad_config("cannot build a channel from a degenerate Gilbert fit "
                "(the measured sequence never left one state)");
   }
-  return gilbert_elliott(fit.p, fit.q);
+  return gilbert_elliott(Probability::checked(fit.p),
+                         Probability::checked(fit.q));
 }
 
 MarkovChannelConfig MarkovChannelConfig::from_loss_targets(
-    double ulp, double plg, Duration bad_extra_delay) {
-  if (!(ulp > 0.0 && ulp < 1.0)) bad_config("target ulp must be in (0, 1)");
+    Probability ulp, double plg, Duration bad_extra_delay) {
+  if (ulp.is_zero() || ulp >= Probability::one()) {
+    bad_config("target ulp must be in (0, 1)");
+  }
   if (!(plg >= 1.0)) bad_config("target plg must be >= 1");
   const double q = 1.0 / plg;
-  const double p = q * ulp / (1.0 - ulp);
+  const double p = q * ulp.value() / (1.0 - ulp.value());
   if (p > 1.0) bad_config("target (ulp, plg) pair is infeasible: p > 1");
-  return gilbert_elliott(p, q, 0.0, 1.0, bad_extra_delay);
+  return gilbert_elliott(Probability::checked(p), Probability::checked(q),
+                         Probability::zero(), Probability::one(),
+                         bad_extra_delay);
 }
 
 MarkovChannel::MarkovChannel(const MarkovChannelConfig& config, Rng rng)
@@ -117,7 +122,8 @@ MarkovChannel::Verdict MarkovChannel::advance() {
   ++packets_[state_];
   const ChannelState& s = states_[state_];
   Verdict verdict;
-  if (s.drop_probability >= 1.0 || rng_.chance(s.drop_probability)) {
+  if (s.drop_probability >= Probability::one() ||
+      rng_.chance(s.drop_probability.value())) {
     verdict.drop = true;
     ++drops_[state_];
     return verdict;

@@ -30,13 +30,14 @@
 #include "analysis/loss.h"
 #include "util/rng.h"
 #include "util/time.h"
+#include "util/units.h"
 
 namespace bolot::sim {
 
 /// One state of a Markov loss/delay channel.
 struct ChannelState {
-  /// Per-packet drop probability while the chain is in this state, [0, 1].
-  double drop_probability = 0.0;
+  /// Per-packet drop probability while the chain is in this state.
+  Probability drop_probability = Probability::zero();
   /// Deterministic extra latency added to the propagation delay of every
   /// packet served in this state (a degraded radio path retransmitting at
   /// layer 2 looks like extra delay end to end).
@@ -72,10 +73,11 @@ struct MarkovChannelConfig {
   /// with `good_drop`, state 1 ("bad") drops with `bad_drop`;
   /// p = P(good->bad), q = P(bad->good).  `bad_extra_delay` adds latency
   /// while the channel is bad (zero = loss-only channel).
-  static MarkovChannelConfig gilbert_elliott(double p, double q,
-                                             double good_drop = 0.0,
-                                             double bad_drop = 1.0,
-                                             Duration bad_extra_delay = {});
+  static MarkovChannelConfig gilbert_elliott(
+      Probability p, Probability q,
+      Probability good_drop = Probability::zero(),
+      Probability bad_drop = Probability::one(),
+      Duration bad_extra_delay = {});
 
   /// Builds the loss-only Gilbert-Elliott channel matching a fit from a
   /// measured loss-indicator sequence (analysis::fit_gilbert): the
@@ -91,7 +93,7 @@ struct MarkovChannelConfig {
   /// loss probability and packet loss gap (plg = mean loss-run length,
   /// = 1/q for a loss-only channel): q = 1/plg, p = q*ulp/(1-ulp).
   /// Requires 0 < ulp < 1 and plg >= 1 (and p <= 1 after solving).
-  static MarkovChannelConfig from_loss_targets(double ulp, double plg,
+  static MarkovChannelConfig from_loss_targets(Probability ulp, double plg,
                                                Duration bad_extra_delay = {});
 };
 

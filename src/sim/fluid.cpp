@@ -13,7 +13,7 @@ namespace bolot::sim {
 FluidAggregate::FluidAggregate(Simulator& sim, FluidAggregateConfig config,
                                Rng rng)
     : sim_(sim), config_(config), rng_(rng) {
-  if (config_.capacity_bps <= 0.0) {
+  if (!config_.capacity.is_positive()) {
     throw std::invalid_argument("FluidAggregate: capacity must be positive");
   }
   if (config_.min_residual_fraction <= 0.0 ||
@@ -21,48 +21,49 @@ FluidAggregate::FluidAggregate(Simulator& sim, FluidAggregateConfig config,
     throw std::invalid_argument(
         "FluidAggregate: min_residual_fraction outside (0, 1]");
   }
-  if (config_.mean_packet_bytes <= 0) {
+  if (config_.mean_packet <= ByteSize::zero()) {
     throw std::invalid_argument(
-        "FluidAggregate: mean_packet_bytes must be positive");
+        "FluidAggregate: mean_packet must be positive");
   }
 }
 
 void FluidAggregate::accrue(SimTime now) {
   if (now <= accrued_to_) return;
   const double share =
-      std::min(fluid_rate_bps() / config_.capacity_bps, 1.0);
+      std::min(fluid_rate().bps() / config_.capacity.bps(), 1.0);
   fluid_busy_ns_ +=
       share * static_cast<double>((now - accrued_to_).count_nanos());
   accrued_to_ = now;
 }
 
-void FluidAggregate::add_base_rate(double bps) {
-  if (bps < 0.0) {
+void FluidAggregate::add_base_rate(Bandwidth rate) {
+  if (rate < Bandwidth::zero()) {
     throw std::invalid_argument("FluidAggregate: negative base rate");
   }
   accrue(sim_.now());
-  base_rate_bps_ += bps;
+  base_rate_bps_ += rate.bps();
 }
 
-void FluidAggregate::adjust_rate(double delta_bps) {
+void FluidAggregate::adjust_rate(Bandwidth delta) {
   accrue(sim_.now());
-  dynamic_rate_bps_ += delta_bps;
+  dynamic_rate_bps_ += delta.bps();
   // Sums of float-ish deltas can undershoot zero by an ulp when the last
-  // flow turns off; clamp so residual_bps never exceeds capacity.
+  // flow turns off; clamp so residual() never exceeds capacity.
   if (dynamic_rate_bps_ < 0.0 &&
-      dynamic_rate_bps_ > -1e-6 * config_.capacity_bps) {
+      dynamic_rate_bps_ > -1e-6 * config_.capacity.bps()) {
     dynamic_rate_bps_ = 0.0;
   }
   ++rate_changes_;
 }
 
-double FluidAggregate::fluid_rate_bps() const {
-  return std::max(0.0, base_rate_bps_ + dynamic_rate_bps_);
+Bandwidth FluidAggregate::fluid_rate() const {
+  return Bandwidth::bps(std::max(0.0, base_rate_bps_ + dynamic_rate_bps_));
 }
 
-double FluidAggregate::residual_bps() const {
-  const double floor_bps = config_.capacity_bps * config_.min_residual_fraction;
-  return std::max(floor_bps, config_.capacity_bps - fluid_rate_bps());
+Bandwidth FluidAggregate::residual() const {
+  const double floor_bps = config_.capacity.bps() * config_.min_residual_fraction;
+  return Bandwidth::bps(
+      std::max(floor_bps, config_.capacity.bps() - fluid_rate().bps()));
 }
 
 double FluidAggregate::utilization(SimTime now) const {
@@ -70,17 +71,17 @@ double FluidAggregate::utilization(SimTime now) const {
   double busy_ns = fluid_busy_ns_;
   if (now > accrued_to_) {
     const double share =
-        std::min(fluid_rate_bps() / config_.capacity_bps, 1.0);
+        std::min(fluid_rate().bps() / config_.capacity.bps(), 1.0);
     busy_ns += share * static_cast<double>((now - accrued_to_).count_nanos());
   }
   return busy_ns / static_cast<double>(now.count_nanos());
 }
 
-Duration FluidAggregate::service_time(std::int64_t bytes) const {
+Duration FluidAggregate::service_time(ByteSize size) const {
   if (config_.queue_model == FluidQueueModel::kResidualRate) {
-    return transmission_time(bytes * 8, residual_bps());
+    return residual().transmission_time(size);
   }
-  return transmission_time(bytes * 8, config_.capacity_bps);
+  return config_.capacity.transmission_time(size);
 }
 
 Duration FluidAggregate::sample_extra_wait() {
@@ -95,11 +96,11 @@ Duration FluidAggregate::sample_extra_wait() {
   // modeled as W = 0 with prob 1-a, Exp(m) with prob a, where matching
   // both moments gives m = E[W^2] / (2 E[W]) and a = E[W] / m <= 1.
   const double rho =
-      std::min(fluid_rate_bps() / config_.capacity_bps,
+      std::min(fluid_rate().bps() / config_.capacity.bps(),
                1.0 - config_.min_residual_fraction);
   if (rho <= 0.0) return Duration::zero();
-  const double s = static_cast<double>(config_.mean_packet_bytes * 8) /
-                   config_.capacity_bps;
+  const double s = static_cast<double>(config_.mean_packet.bit_count()) /
+                   config_.capacity.bps();
   const double mean_w = rho * s / (2.0 * (1.0 - rho));
   const double second = 2.0 * mean_w * mean_w +
                         rho * s * s / (3.0 * (1.0 - rho));
@@ -112,16 +113,16 @@ Duration FluidAggregate::sample_extra_wait() {
 void FluidAggregate::audit_verify() const {
   SIM_CHECK(base_rate_bps_ >= 0.0 &&
                 base_rate_bps_ + dynamic_rate_bps_ >=
-                    -1e-6 * config_.capacity_bps,
+                    -1e-6 * config_.capacity.bps(),
             "FluidAggregate: demand went negative (base %.3f + dynamic %.3f "
             "bps)",
             base_rate_bps_, dynamic_rate_bps_);
   SIM_CHECK(std::isfinite(base_rate_bps_) && std::isfinite(dynamic_rate_bps_),
             "FluidAggregate: non-finite demand");
-  SIM_CHECK(residual_bps() >=
-                config_.capacity_bps * config_.min_residual_fraction * 0.999,
+  SIM_CHECK(residual().bps() >=
+                config_.capacity.bps() * config_.min_residual_fraction * 0.999,
             "FluidAggregate: residual %.3f bps fell through the floor",
-            residual_bps());
+            residual().bps());
   SIM_CHECK(fluid_busy_ns_ >= 0.0 && accrued_to_ <= sim_.now(),
             "FluidAggregate: utilization integral ran backwards");
 }
@@ -129,7 +130,7 @@ void FluidAggregate::audit_verify() const {
 // ---------------------------------------------------------------------------
 // FluidFlow
 
-FluidFlowConfig FluidFlowConfig::envelope(double peak_rate_bps,
+FluidFlowConfig FluidFlowConfig::envelope(Bandwidth peak_rate,
                                           std::size_t states, double swing,
                                           Duration mean_holding) {
   if (states < 2) {
@@ -140,7 +141,7 @@ FluidFlowConfig FluidFlowConfig::envelope(double peak_rate_bps,
         "FluidFlowConfig::envelope: swing outside [0, 1)");
   }
   FluidFlowConfig config;
-  config.peak_rate_bps = peak_rate_bps;
+  config.peak_rate = peak_rate;
   config.state_rate_fraction.resize(states);
   config.mean_holding.assign(states, mean_holding);
   config.transition.assign(states * states, 0.0);
@@ -165,7 +166,7 @@ FluidFlowConfig FluidFlowConfig::envelope(double peak_rate_bps,
 
 FluidFlow::FluidFlow(Simulator& sim, FluidFlowConfig config, Rng rng)
     : sim_(sim), config_(std::move(config)), rng_(rng) {
-  if (config_.peak_rate_bps < 0.0) {
+  if (config_.peak_rate < Bandwidth::zero()) {
     throw std::invalid_argument("FluidFlow: negative peak rate");
   }
   if (config_.modulated()) {
@@ -208,7 +209,7 @@ void FluidFlow::set_rate(double bps) {
   rate_bps_ = bps;
   ++edges_;
   for (FluidAggregate* aggregate : aggregates_) {
-    aggregate->adjust_rate(delta);
+    aggregate->adjust_rate(Bandwidth::bps(delta));
   }
 }
 
@@ -218,7 +219,7 @@ void FluidFlow::start(SimTime at) {
   if (config_.modulated()) {
     state_ = config_.initial_state;
     sim_.schedule_at(at, [this] {
-      set_rate(config_.peak_rate_bps *
+      set_rate(config_.peak_rate.bps() *
                config_.state_rate_fraction[state_]);
       on_transition(/*rearm=*/false);
     });
@@ -227,7 +228,7 @@ void FluidFlow::start(SimTime at) {
   if (config_.period.is_zero() || config_.duty >= 1.0) {
     // Constant-rate flow: one edge, no recurring events.
     sim_.schedule_at(at + config_.phase,
-                     [this] { set_rate(config_.peak_rate_bps); });
+                     [this] { set_rate(config_.peak_rate.bps()); });
     return;
   }
   if (config_.duty <= 0.0) return;  // never on
@@ -235,7 +236,7 @@ void FluidFlow::start(SimTime at) {
   // the flip lives in the closure, not in two alternating callbacks.
   sim_.schedule_at(at + config_.phase, [this] {
     on_ = !on_;
-    set_rate(on_ ? config_.peak_rate_bps : 0.0);
+    set_rate(on_ ? config_.peak_rate.bps() : 0.0);
     on_onoff_edge();
   });
 }
@@ -266,7 +267,7 @@ void FluidFlow::on_transition(bool rearm) {
       }
     }
     state_ = next;
-    set_rate(config_.peak_rate_bps * config_.state_rate_fraction[state_]);
+    set_rate(config_.peak_rate.bps() * config_.state_rate_fraction[state_]);
     on_transition(/*rearm=*/true);
   };
   if (rearm) {
@@ -305,11 +306,12 @@ FlowTable::RouteId FlowTable::intern_route(
 }
 
 FlowTable::FlowId FlowTable::add_flow(std::uint64_t external_id, RouteId route,
-                                      float peak_rate_bps, float duty,
+                                      Bandwidth peak_rate, float duty,
                                       Duration period, Duration phase) {
   if (route >= route_offset_.size()) {
     throw std::out_of_range("FlowTable: unknown route");
   }
+  const float peak_rate_bps = static_cast<float>(peak_rate.bps());
   if (peak_rate_bps < 0.0f || duty < 0.0f || duty > 1.0f) {
     throw std::invalid_argument("FlowTable: bad flow parameters");
   }
@@ -330,21 +332,22 @@ FlowTable::FlowId FlowTable::find(std::uint64_t external_id) const {
   throw std::out_of_range("FlowTable: unknown external id");
 }
 
-double FlowTable::mean_rate_bps(FlowId f) const {
-  return static_cast<double>(peak_rate_bps_.at(f)) *
-         static_cast<double>(duty_.at(f));
+Bandwidth FlowTable::mean_rate(FlowId f) const {
+  return Bandwidth::bps(static_cast<double>(peak_rate_bps_.at(f)) *
+                        static_cast<double>(duty_.at(f)));
 }
 
-double FlowTable::rate_at(FlowId f, SimTime t) const {
+Bandwidth FlowTable::rate_at(FlowId f, SimTime t) const {
   const std::int64_t period = period_ns_.at(f);
-  if (period <= 0) return mean_rate_bps(f);
+  if (period <= 0) return mean_rate(f);
   const double duty = duty_[f];
-  if (duty >= 1.0) return peak_rate_bps_[f];
-  if (duty <= 0.0) return 0.0;
+  if (duty >= 1.0) return Bandwidth::bps(peak_rate_bps_[f]);
+  if (duty <= 0.0) return Bandwidth::zero();
   std::int64_t offset = (t.count_nanos() - phase_ns_[f]) % period;
   if (offset < 0) offset += period;
   const double on_ns = duty * static_cast<double>(period);
-  return static_cast<double>(offset) < on_ns ? peak_rate_bps_[f] : 0.0;
+  return static_cast<double>(offset) < on_ns ? Bandwidth::bps(peak_rate_bps_[f])
+                                             : Bandwidth::zero();
 }
 
 std::size_t FlowTable::route_length(RouteId r) const {
@@ -361,7 +364,7 @@ std::uint32_t FlowTable::route_link(RouteId r, std::size_t i) const {
 void FlowTable::register_mean_rates(
     const std::vector<FluidAggregate*>& by_link_uid, double scale) const {
   for (std::size_t f = 0; f < size(); ++f) {
-    const double rate = mean_rate_bps(static_cast<FlowId>(f)) * scale;
+    const double rate = mean_rate(static_cast<FlowId>(f)).bps() * scale;
     if (rate <= 0.0) continue;
     const RouteId r = route_[f];
     const std::uint32_t offset = route_offset_[r];
@@ -369,13 +372,13 @@ void FlowTable::register_mean_rates(
     for (std::uint16_t i = 0; i < len; ++i) {
       const std::uint32_t uid = route_links_[offset + i];
       if (uid < by_link_uid.size() && by_link_uid[uid] != nullptr) {
-        by_link_uid[uid]->add_base_rate(rate);
+        by_link_uid[uid]->add_base_rate(Bandwidth::bps(rate));
       }
     }
   }
 }
 
-double FlowTable::link_demand_bps(std::uint32_t uid) const {
+Bandwidth FlowTable::link_demand(std::uint32_t uid) const {
   double demand = 0.0;
   for (std::size_t f = 0; f < size(); ++f) {
     const RouteId r = route_[f];
@@ -383,12 +386,12 @@ double FlowTable::link_demand_bps(std::uint32_t uid) const {
     const std::uint16_t len = route_len_[r];
     for (std::uint16_t i = 0; i < len; ++i) {
       if (route_links_[offset + i] == uid) {
-        demand += mean_rate_bps(static_cast<FlowId>(f));
+        demand += mean_rate(static_cast<FlowId>(f)).bps();
         break;
       }
     }
   }
-  return demand;
+  return Bandwidth::bps(demand);
 }
 
 void FlowTable::audit_verify() const {

@@ -32,6 +32,7 @@
 #include "util/audit.h"
 #include "util/rng.h"
 #include "util/time.h"
+#include "util/units.h"
 
 namespace bolot::sim {
 
@@ -50,15 +51,15 @@ enum class FluidQueueModel : std::uint8_t {
 };
 
 struct FluidAggregateConfig {
-  /// Must equal the attached link's rate_bps (Link::attach_fluid checks).
-  double capacity_bps = 1e6;
+  /// Must equal the attached link's rate (Link::attach_fluid checks).
+  Bandwidth capacity = Bandwidth::mbps(1);
   FluidQueueModel queue_model = FluidQueueModel::kResidualRate;
   /// Residual rate never drops below this fraction of capacity, so an
   /// oversubscribed fluid aggregate slows packets down (a lot) instead of
   /// stalling the transmitter forever.
   double min_residual_fraction = 0.01;
   /// Packet size of the displaced traffic, for the kMd1Wait moments.
-  std::int64_t mean_packet_bytes = 512;
+  ByteSize mean_packet = ByteSize::bytes(512);
 };
 
 /// Piecewise-constant fluid demand on one link.  Owned by the caller
@@ -74,22 +75,24 @@ class FluidAggregate {
   /// Setup-time registration of time-invariant demand (FlowTable flows
   /// folded to their mean rate).  Not an event; no time accrual needed
   /// before the first one, but safe at any simulated time.
-  void add_base_rate(double bps);
+  void add_base_rate(Bandwidth rate);
 
-  /// Runtime piecewise change (FluidFlow edges).  Accrues the fluid
-  /// utilization integral up to now, then applies the delta.
-  void adjust_rate(double delta_bps);
+  /// Runtime piecewise change (FluidFlow edges; the delta may be
+  /// negative).  Accrues the fluid utilization integral up to now, then
+  /// applies the delta.
+  void adjust_rate(Bandwidth delta);
 
   /// Instantaneous total fluid demand (never negative).
-  double fluid_rate_bps() const;
+  Bandwidth fluid_rate() const;
   /// Instantaneous residual capacity packetized traffic is served at.
-  double residual_bps() const;
+  Bandwidth residual() const;
   /// Fraction of capacity the fluid has consumed on time average in
-  /// [0, now] — the fluid half of the link utilization gauge.
+  /// [0, now] — the fluid half of the link utilization gauge.  Returns 0
+  /// at now == 0 (nothing has elapsed to be utilized).
   double utilization(SimTime now) const;
 
-  /// Service span for one packet of `bytes` under the configured model.
-  Duration service_time(std::int64_t bytes) const;
+  /// Service span for one packet of `size` under the configured model.
+  Duration service_time(ByteSize size) const;
   /// Extra queueing delay for one delivered packet: zero in
   /// kResidualRate mode (no rng draw), a two-moment M/D/1 wait sample in
   /// kMd1Wait mode.
@@ -120,15 +123,15 @@ class FluidAggregate {
 
 /// Configuration of one event-driven fluid rate process.
 struct FluidFlowConfig {
-  double peak_rate_bps = 1e6;
+  Bandwidth peak_rate = Bandwidth::mbps(1);
   /// Deterministic on/off: ON for duty*period, OFF for the rest, first ON
-  /// edge `phase` after start.  Zero period = constant at peak_rate_bps
+  /// edge `phase` after start.  Zero period = constant at peak_rate
   /// from start on (no events).
   Duration period;
   double duty = 1.0;
   Duration phase;
   /// MMPP-style modulation: when non-empty, the flow is a K-state chain
-  /// emitting peak_rate_bps * state_rate_fraction[k] in state k, holding
+  /// emitting peak_rate * state_rate_fraction[k] in state k, holding
   /// exponential(mean_holding[k]) and jumping by the row-stochastic
   /// `transition` matrix (row-major K x K, zero diagonal).  Overrides the
   /// on/off fields.
@@ -142,8 +145,8 @@ struct FluidFlowConfig {
 
   /// An evenly spread K-state envelope around a mean of 1.0: fractions in
   /// [1-swing, 1+swing], uniform transitions, common holding time.  The
-  /// stationary mean rate is exactly peak_rate_bps.
-  static FluidFlowConfig envelope(double peak_rate_bps, std::size_t states,
+  /// stationary mean rate is exactly peak_rate.
+  static FluidFlowConfig envelope(Bandwidth peak_rate, std::size_t states,
                                   double swing, Duration mean_holding);
 };
 
@@ -163,7 +166,7 @@ class FluidFlow {
   /// Begins the rate process at absolute time `at`.
   void start(SimTime at);
 
-  double rate_bps() const { return rate_bps_; }
+  Bandwidth rate() const { return Bandwidth::bps(rate_bps_); }
   std::size_t state() const { return state_; }
   std::uint64_t edges() const { return edges_; }
 
@@ -204,7 +207,7 @@ class FlowTable {
   /// `external_id` is the caller's identifier (hash, tuple, ...), kept
   /// for reverse lookup; it need not be unique or dense.
   FlowId add_flow(std::uint64_t external_id, RouteId route,
-                  float peak_rate_bps, float duty,
+                  Bandwidth peak_rate, float duty,
                   Duration period = Duration::zero(),
                   Duration phase = Duration::zero());
 
@@ -216,14 +219,18 @@ class FlowTable {
   /// Linear scan — tooling/tests only, not a datapath operation.
   FlowId find(std::uint64_t external_id) const;
 
-  float peak_rate_bps(FlowId f) const { return peak_rate_bps_.at(f); }
+  /// Stored at float precision (the SoA budget); the returned Bandwidth
+  /// carries the float value widened back to double.
+  Bandwidth peak_rate(FlowId f) const {
+    return Bandwidth::bps(static_cast<double>(peak_rate_bps_.at(f)));
+  }
   float duty(FlowId f) const { return duty_.at(f); }
   RouteId route(FlowId f) const { return route_.at(f); }
   /// Long-run mean rate: peak * duty.
-  double mean_rate_bps(FlowId f) const;
+  Bandwidth mean_rate(FlowId f) const;
   /// Instantaneous rate of the deterministic on/off process at `t`
   /// (peak while ON, zero while OFF; constant mean when period is zero).
-  double rate_at(FlowId f, SimTime t) const;
+  Bandwidth rate_at(FlowId f, SimTime t) const;
 
   std::size_t route_length(RouteId r) const;
   std::uint32_t route_link(RouteId r, std::size_t i) const;
@@ -235,7 +242,7 @@ class FlowTable {
   void register_mean_rates(const std::vector<FluidAggregate*>& by_link_uid,
                            double scale = 1.0) const;
   /// Sum of mean rates over flows whose route contains link `uid`.
-  double link_demand_bps(std::uint32_t uid) const;
+  Bandwidth link_demand(std::uint32_t uid) const;
 
   /// Bytes of SoA storage per flow, the contract that makes 10^6 flows a
   /// ~40 MB statement (routes are shared, so the arena amortizes out).

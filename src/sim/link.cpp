@@ -13,23 +13,24 @@ namespace bolot::sim {
 
 Link::Link(Simulator& sim, LinkConfig config, Rng drop_rng)
     : sim_(sim), config_(std::move(config)), drop_rng_(drop_rng) {
-  if (config_.rate_bps <= 0.0) {
+  if (!config_.rate.is_positive()) {
     throw std::invalid_argument("Link: rate must be positive");
   }
   if (config_.buffer_packets == 0) {
     throw std::invalid_argument("Link: buffer must hold at least one packet");
   }
-  if (config_.random_drop_probability < 0.0 ||
-      config_.random_drop_probability >= 1.0) {
+  // The Probability type already pins [0, 1]; a link that drops every
+  // packet is additionally rejected here, as before.
+  if (config_.random_drop_probability >= Probability::one()) {
     throw std::invalid_argument("Link: drop probability outside [0, 1)");
   }
   if (config_.red) {
     const RedConfig& red = *config_.red;
     if (!(red.min_threshold >= 0.0) ||
         !(red.max_threshold > red.min_threshold) ||
-        red.max_probability <= 0.0 || red.max_probability > 1.0 ||
+        red.max_probability.is_zero() ||
         red.weight <= 0.0 || red.weight > 1.0 ||
-        red.mean_packet_bytes <= 0) {
+        red.mean_packet <= ByteSize::zero()) {
       throw std::invalid_argument("Link: malformed RED configuration");
     }
   }
@@ -57,7 +58,7 @@ void Link::attach_fluid(FluidAggregate& fluid) {
     throw std::invalid_argument(
         "Link: fluid demand on a trace-driven transmitter is undefined");
   }
-  if (fluid.config().capacity_bps != config_.rate_bps) {
+  if (fluid.config().capacity != config_.rate) {
     throw std::invalid_argument(
         "Link: fluid aggregate capacity does not match the link rate");
   }
@@ -104,7 +105,7 @@ bool Link::red_admits(std::size_t queue_length) {
     // are excluded — see red_idle_accrued_.
     Duration idle = red_idle_accrued_;
     if (!paused_) idle += sim_.now() - idle_since_;
-    const double slots = idle / service_time(red.mean_packet_bytes);
+    const double slots = idle / service_time(red.mean_packet);
     if (slots > 0.0) red_avg_ *= std::pow(1.0 - red.weight, slots);
     red_idle_accrued_ = Duration::zero();
     if (!paused_) {
@@ -123,7 +124,7 @@ bool Link::red_admits(std::size_t queue_length) {
     return false;
   }
   ++red_count_;
-  const double pb = red.max_probability *
+  const double pb = red.max_probability.value() *
                     (red_avg_ - red.min_threshold) /
                     (red.max_threshold - red.min_threshold);
   // Uniformize inter-drop spacing (Floyd & Jacobson's count correction).
@@ -138,8 +139,8 @@ bool Link::red_admits(std::size_t queue_length) {
 
 void Link::enqueue(Packet&& packet) {
   ++stats_.offered;
-  if (config_.random_drop_probability > 0.0 &&
-      drop_rng_.chance(config_.random_drop_probability)) {
+  if (!config_.random_drop_probability.is_zero() &&
+      drop_rng_.chance(config_.random_drop_probability.value())) {
     drop(std::move(packet), DropCause::kRandom);
     return;
   }
@@ -191,8 +192,8 @@ void Link::start_front_transmission(bool rearm) {
   // rate moves under us).  Fluid rate changes mid-service take effect at
   // the next packet boundary, bounding the error by one service time.
   const Duration service =
-      fluid_ != nullptr ? fluid_->service_time(queue_.front().size_bytes)
-                        : service_time(queue_.front().size_bytes);
+      fluid_ != nullptr ? fluid_->service_time(queue_.front().size())
+                        : service_time(queue_.front().size());
   stats_.busy += service;
   if (rearm) {
     // Back-to-back service: reuse the completion event that is dispatching
@@ -555,9 +556,9 @@ void Link::publish_metrics(obs::MetricsRegistry& registry,
     // after every pre-fluid metric so fluid-free snapshots keep their
     // exact registration order (byte-stable serialization).
     registry.probe_gauge(prefix + ".fluid_rate_bps",
-                         [this] { return fluid_->fluid_rate_bps(); });
+                         [this] { return fluid_->fluid_rate().bps(); });
     registry.probe_gauge(prefix + ".residual_bps",
-                         [this] { return fluid_->residual_bps(); });
+                         [this] { return fluid_->residual().bps(); });
     registry.probe_gauge(prefix + ".fluid_utilization", [this] {
       return fluid_->utilization(sim_.now());
     });

@@ -29,6 +29,7 @@
 #include "util/ring_buffer.h"
 #include "util/rng.h"
 #include "util/time.h"
+#include "util/units.h"
 
 namespace bolot::obs {
 class MetricsRegistry;
@@ -48,20 +49,23 @@ class FluidAggregate;  // sim/fluid.h
 struct RedConfig {
   double min_threshold = 5.0;
   double max_threshold = 15.0;
-  double max_probability = 0.1;
+  Probability max_probability = Probability::checked(0.1);
   double weight = 0.002;  // EWMA gain w_q
   /// Typical packet size defining the service-slot length s used by the
   /// idle-time correction (Floyd & Jacobson's parameter s = transmission
   /// time of a small packet).
-  std::int64_t mean_packet_bytes = 512;
+  ByteSize mean_packet = ByteSize::bytes(512);
 };
 
 struct LinkConfig {
   std::string name;
-  double rate_bps = 1e6;               // transmission rate
+  Bandwidth rate = Bandwidth::mbps(1);  // transmission rate
   Duration propagation;                 // one-way propagation delay
   std::size_t buffer_packets = 64;      // K, counting the packet in service
-  double random_drop_probability = 0;   // faulty-interface loss, in [0, 1)
+  /// Faulty-interface loss per packet, in [0, 1); Probability::one() is
+  /// rejected by the constructor (a link that drops everything is a
+  /// misconfiguration, not a channel).
+  Probability random_drop_probability;
   std::optional<RedConfig> red;         // unset = pure drop-tail
   /// Correlated loss/delay channel applied at transmission-complete time
   /// (Gilbert-Elliott and general N-state Markov chains; MODEL_NOTES §13).
@@ -196,13 +200,13 @@ class Link {
   /// Packets past the transmitter, still propagating toward the far end.
   std::size_t in_flight() const { return flight_.size(); }
 
-  /// Time to clock one packet of `bytes` onto the wire.  Memoized on the
+  /// Time to clock one packet of `size` onto the wire.  Memoized on the
   /// last size seen: fixed-size flows (probes, CBR, TCP segments) pay the
   /// divide-and-round once instead of per packet.
-  Duration service_time(std::int64_t bytes) const {
-    if (bytes != service_memo_bytes_) {
-      service_memo_bytes_ = bytes;
-      service_memo_ = transmission_time(bytes * 8, config_.rate_bps);
+  Duration service_time(ByteSize size) const {
+    if (size.count() != service_memo_bytes_) {
+      service_memo_bytes_ = size.count();
+      service_memo_ = config_.rate.transmission_time(size);
     }
     return service_memo_;
   }

@@ -30,7 +30,8 @@ void QueueMonitor::sample() {
   if (mode_ == Mode::kPackets) {
     samples_.push_back(static_cast<double>(link_.queue_length()));
   } else {
-    samples_.push_back(link_.service_time(link_.backlog_bytes()).millis());
+    samples_.push_back(
+        link_.service_time(ByteSize::bytes(link_.backlog_bytes())).millis());
   }
   times_.push_back(sim_.now());
   // sample() only runs from its own event; re-arm it in place (pending_

@@ -10,6 +10,7 @@
 
 #include "util/audit.h"
 #include "util/time.h"
+#include "util/units.h"
 
 namespace bolot::sim {
 
@@ -59,6 +60,10 @@ struct Packet {
   SimTime created;               // time the packet entered the network
 
   std::int64_t size_bits() const { return size_bytes * 8; }
+  /// The wire size as a typed quantity (size_bytes itself stays a raw
+  /// field so the struct remains an aggregate of scalars; see MODEL_NOTES
+  /// §16 on which boundaries stay raw).
+  ByteSize size() const { return ByteSize::bytes(size_bytes); }
 
   bool has_probe() const { return payload_ == Payload::kProbe; }
   bool has_tcp() const { return payload_ == Payload::kTcp; }
@@ -123,13 +128,13 @@ static_assert(sizeof(Packet) <= 128,
 
 /// Wire size of the paper's probe packets: 32 bytes of UDP payload plus
 /// 8 bytes UDP and 20 bytes IP header, plus link framing rounded to 72.
-inline constexpr std::int64_t kProbeWireBytes = 72;
+inline constexpr ByteSize kProbeWireBytes = ByteSize::bytes(72);
 
 /// Wire size we use for one "FTP packet" of cross traffic; the paper
 /// estimates ~488 bytes from its measurements (eq. 6).
-inline constexpr std::int64_t kFtpWireBytes = 512;
+inline constexpr ByteSize kFtpWireBytes = ByteSize::bytes(512);
 
 /// Wire size for one interactive (Telnet-like) packet.
-inline constexpr std::int64_t kTelnetWireBytes = 64;
+inline constexpr ByteSize kTelnetWireBytes = ByteSize::bytes(64);
 
 }  // namespace bolot::sim

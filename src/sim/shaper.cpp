@@ -13,9 +13,9 @@ TokenBucketShaper::TokenBucketShaper(Simulator& sim, Network& net,
     : sim_(sim),
       net_(net),
       config_(config),
-      tokens_bytes_(static_cast<double>(config.bucket_bytes)),
+      tokens_bytes_(static_cast<double>(config.bucket.count())),
       last_refill_(sim.now()) {
-  if (config_.rate_bps <= 0.0 || config_.bucket_bytes <= 0 ||
+  if (!config_.rate.is_positive() || config_.bucket <= ByteSize::zero() ||
       config_.queue_packets == 0) {
     throw std::invalid_argument("TokenBucketShaper: bad configuration");
   }
@@ -26,8 +26,8 @@ void TokenBucketShaper::refill_to_now() {
   const Duration elapsed = sim_.now() - last_refill_;
   last_refill_ = sim_.now();
   tokens_bytes_ =
-      std::min(static_cast<double>(config_.bucket_bytes),
-               tokens_bytes_ + elapsed.seconds() * config_.rate_bps / 8.0);
+      std::min(static_cast<double>(config_.bucket.count()),
+               tokens_bytes_ + elapsed.seconds() * config_.rate.bps() / 8.0);
 }
 
 void TokenBucketShaper::offer(Packet&& packet) {
@@ -70,7 +70,7 @@ void TokenBucketShaper::schedule_release(bool rearm) {
   const Duration wait = std::max(
       Duration::micros(1.0),
       Duration::seconds(std::max(0.0, deficit_bytes) * 8.0 /
-                        config_.rate_bps));
+                        config_.rate.bps()));
   if (rearm) {
     // release_ready() is dispatching right now; re-arm it in place
     // (pending_ keeps referring to the live slot).

@@ -17,6 +17,7 @@
 #include "sim/packet.h"
 #include "sim/simulator.h"
 #include "util/ring_buffer.h"
+#include "util/units.h"
 
 namespace bolot::obs {
 class MetricsRegistry;
@@ -25,9 +26,9 @@ class MetricsRegistry;
 namespace bolot::sim {
 
 struct ShaperConfig {
-  double rate_bps = 128e3;          // token refill rate
-  std::int64_t bucket_bytes = 2048; // burst allowance
-  std::size_t queue_packets = 256;  // shaper queue bound (tail drop)
+  Bandwidth rate = Bandwidth::kbps(128);       // token refill rate
+  ByteSize bucket = ByteSize::bytes(2048);     // burst allowance
+  std::size_t queue_packets = 256;             // shaper queue bound (tail drop)
 };
 
 class TokenBucketShaper {
@@ -42,6 +43,8 @@ class TokenBucketShaper {
   std::uint64_t forwarded() const { return forwarded_; }
   std::uint64_t dropped() const { return dropped_; }
   std::size_t queue_length() const { return queue_.size(); }
+  /// Fractional tokens: the bucket refills continuously, so this is a
+  /// double, not a ByteSize.
   double tokens_bytes() const { return tokens_bytes_; }
 
   /// Registers shaper observables ("<prefix>.forwarded", ".dropped",

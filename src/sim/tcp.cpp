@@ -90,7 +90,7 @@ TcpSource::TcpSource(Simulator& sim, Network& net, NodeId src, NodeId dst,
       config_(config),
       ssthresh_(config.initial_ssthresh_packets),
       rto_(config.initial_rto) {
-  if (config_.segment_bytes <= 0 || config_.ack_bytes <= 0) {
+  if (config_.segment <= ByteSize::zero() || config_.ack <= ByteSize::zero()) {
     throw std::invalid_argument("TcpSource: packet sizes must be positive");
   }
   if (config_.initial_ssthresh_packets < 1.0 ||
@@ -153,7 +153,7 @@ void TcpSource::send_segment(std::uint64_t seq, bool is_retransmission) {
   segment.id = (static_cast<std::uint64_t>(flow_) << 40) + stats_.segments_sent;
   segment.kind = PacketKind::kBulk;
   segment.flow = flow_;
-  segment.size_bytes = config_.segment_bytes;
+  segment.size_bytes = config_.segment.count();
   segment.src = src_;
   segment.dst = dst_;
   segment.created = sim_.now();

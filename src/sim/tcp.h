@@ -31,6 +31,7 @@
 #include "sim/simulator.h"
 #include "util/rng.h"
 #include "util/time.h"
+#include "util/units.h"
 
 namespace bolot::obs {
 class MetricsRegistry;
@@ -39,8 +40,8 @@ class MetricsRegistry;
 namespace bolot::sim {
 
 struct TcpConfig {
-  std::int64_t segment_bytes = 512;  // data segment wire size (MSS + hdrs)
-  std::int64_t ack_bytes = 40;       // pure ack wire size
+  ByteSize segment = ByteSize::bytes(512);  // data segment wire size (MSS+hdrs)
+  ByteSize ack = ByteSize::bytes(40);       // pure ack wire size
   double initial_ssthresh_packets = 16.0;
   double receiver_window_packets = 32.0;  // cwnd cap
   Duration initial_rto = Duration::seconds(1);

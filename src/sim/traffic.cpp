@@ -30,17 +30,17 @@ void TrafficSource::stop() {
   pending_.cancel();
 }
 
-void TrafficSource::emit(std::int64_t bytes) {
+void TrafficSource::emit(ByteSize size) {
   Packet p;
   p.id = (static_cast<std::uint64_t>(flow_) << 40) + sent_;
   p.kind = kind_;
   p.flow = flow_;
-  p.size_bytes = bytes;
+  p.size_bytes = size.count();
   p.src = src_;
   p.dst = dst_;
   p.created = sim_.now();
   ++sent_;
-  bytes_ += bytes;
+  bytes_ += size.count();
   net_.send(std::move(p));
 }
 
@@ -54,34 +54,34 @@ void TrafficSource::schedule_step(Duration delay) {
 
 CbrSource::CbrSource(Simulator& sim, Network& net, NodeId src, NodeId dst,
                      std::uint32_t flow, PacketKind kind, Rng rng,
-                     Duration interval, std::int64_t packet_bytes)
+                     Duration interval, ByteSize packet)
     : TrafficSource(sim, net, src, dst, flow, kind, rng),
       interval_(interval),
-      packet_bytes_(packet_bytes) {
+      packet_(packet) {
   if (interval <= Duration::zero()) {
     throw std::invalid_argument("CbrSource: interval must be positive");
   }
 }
 
 void CbrSource::step() {
-  emit(packet_bytes_);
+  emit(packet_);
   schedule_step(interval_);
 }
 
 PoissonSource::PoissonSource(Simulator& sim, Network& net, NodeId src,
                              NodeId dst, std::uint32_t flow, PacketKind kind,
                              Rng rng, Duration mean_interarrival,
-                             std::int64_t packet_bytes)
+                             ByteSize packet)
     : TrafficSource(sim, net, src, dst, flow, kind, rng),
       mean_interarrival_(mean_interarrival),
-      packet_bytes_(packet_bytes) {
+      packet_(packet) {
   if (mean_interarrival <= Duration::zero()) {
     throw std::invalid_argument("PoissonSource: mean must be positive");
   }
 }
 
 void PoissonSource::step() {
-  emit(packet_bytes_);
+  emit(packet_);
   schedule_step(rng().exponential_time(mean_interarrival_));
 }
 
@@ -103,7 +103,7 @@ void BurstSource::step() {
     // success probability 1/m).
     remaining_in_burst_ = rng().geometric(1.0 / config_.mean_burst_packets);
   }
-  emit(config_.packet_bytes);
+  emit(config_.packet);
   --remaining_in_burst_;
   if (remaining_in_burst_ > 0) {
     schedule_step(config_.in_burst_spacing);
@@ -121,11 +121,11 @@ FtpSessionSource::FtpSessionSource(Simulator& sim, Network& net, NodeId src,
       config_.mean_idle <= Duration::zero()) {
     throw std::invalid_argument("FtpSessionSource: periods must be positive");
   }
-  if (config_.pace_load <= 0.0 || config_.bottleneck_bps <= 0.0) {
+  if (config_.pace_load <= 0.0 || !config_.bottleneck.is_positive()) {
     throw std::invalid_argument("FtpSessionSource: pacing must be positive");
   }
-  pace_interval_ = transmission_time(
-      config_.packet_bytes * 8, config_.pace_load * config_.bottleneck_bps);
+  pace_interval_ = (config_.bottleneck * config_.pace_load)
+                       .transmission_time(config_.packet);
 }
 
 void FtpSessionSource::step() {
@@ -133,7 +133,7 @@ void FtpSessionSource::step() {
     in_session_ = true;
     session_until_ = sim().now() + rng().exponential_time(config_.mean_session);
   }
-  emit(config_.packet_bytes);
+  emit(config_.packet);
   if (sim().now() + pace_interval_ <= session_until_) {
     schedule_step(pace_interval_);
   } else {
@@ -150,17 +150,17 @@ VbrVideoSource::VbrVideoSource(Simulator& sim, Network& net, NodeId src,
       config_.max_interval < config_.min_interval) {
     throw std::invalid_argument("VbrVideoSource: bad interval range");
   }
-  if (config_.min_packet_bytes <= 0 ||
-      config_.max_packet_bytes < config_.min_packet_bytes) {
+  if (config_.min_packet <= ByteSize::zero() ||
+      config_.max_packet < config_.min_packet) {
     throw std::invalid_argument("VbrVideoSource: bad size range");
   }
 }
 
 void VbrVideoSource::step() {
   const auto size = static_cast<std::int64_t>(
-      rng().uniform(static_cast<double>(config_.min_packet_bytes),
-                    static_cast<double>(config_.max_packet_bytes) + 1.0));
-  emit(std::min(size, config_.max_packet_bytes));
+      rng().uniform(static_cast<double>(config_.min_packet.count()),
+                    static_cast<double>(config_.max_packet.count()) + 1.0));
+  emit(std::min(ByteSize::bytes(size), config_.max_packet));
   schedule_step(Duration::millis(rng().uniform(config_.min_interval.millis(),
                                                config_.max_interval.millis())));
 }
@@ -182,7 +182,7 @@ ModulatedPoissonSource::ModulatedPoissonSource(Simulator& sim, Network& net,
 }
 
 void ModulatedPoissonSource::step() {
-  emit(config_.packet_bytes);
+  emit(config_.packet);
   // Thinning: propose from the peak rate, accept with rate(t)/peak; on
   // rejection, keep proposing (bounded loop: acceptance >= (1-a)/(1+a)).
   const double base_rate = 1.0 / config_.mean_interarrival.seconds();
@@ -231,7 +231,7 @@ void OnOffSource::step() {
     on_until_ = sim().now() +
                 draw_period(rng(), config_.mean_on, config_.pareto_shape);
   }
-  emit(config_.packet_bytes);
+  emit(config_.packet);
   if (sim().now() + config_.on_interval <= on_until_) {
     schedule_step(config_.on_interval);
   } else {

@@ -13,6 +13,7 @@
 #include "sim/simulator.h"
 #include "util/rng.h"
 #include "util/time.h"
+#include "util/units.h"
 
 namespace bolot::sim {
 
@@ -36,8 +37,8 @@ class TrafficSource {
   std::uint32_t flow() const { return flow_; }
 
  protected:
-  /// Emits one packet of `bytes` now.
-  void emit(std::int64_t bytes);
+  /// Emits one packet of `size` now.
+  void emit(ByteSize size);
   /// Schedules the next generator step; derived classes call this from
   /// step() to continue the emission process.
   void schedule_step(Duration delay);
@@ -66,13 +67,13 @@ class CbrSource final : public TrafficSource {
  public:
   CbrSource(Simulator& sim, Network& net, NodeId src, NodeId dst,
             std::uint32_t flow, PacketKind kind, Rng rng, Duration interval,
-            std::int64_t packet_bytes);
+            ByteSize packet);
 
  private:
   void step() override;
 
   Duration interval_;
-  std::int64_t packet_bytes_;
+  ByteSize packet_;
 };
 
 /// Poisson arrivals of fixed-size packets; models interactive (Telnet)
@@ -81,13 +82,13 @@ class PoissonSource final : public TrafficSource {
  public:
   PoissonSource(Simulator& sim, Network& net, NodeId src, NodeId dst,
                 std::uint32_t flow, PacketKind kind, Rng rng,
-                Duration mean_interarrival, std::int64_t packet_bytes);
+                Duration mean_interarrival, ByteSize packet);
 
  private:
   void step() override;
 
   Duration mean_interarrival_;
-  std::int64_t packet_bytes_;
+  ByteSize packet_;
 };
 
 /// Bulk-transfer model (FTP-like): bursts arrive as a Poisson process;
@@ -97,7 +98,7 @@ class PoissonSource final : public TrafficSource {
 struct BurstConfig {
   Duration mean_burst_gap = Duration::seconds(1);  // between burst starts
   double mean_burst_packets = 4.0;                 // geometric mean, >= 1
-  std::int64_t packet_bytes = kFtpWireBytes;
+  ByteSize packet = kFtpWireBytes;
   Duration in_burst_spacing;  // back-to-back if zero
 };
 
@@ -123,9 +124,9 @@ class BurstSource final : public TrafficSource {
 struct FtpSessionConfig {
   Duration mean_session = Duration::seconds(8);  // ON period (exponential)
   Duration mean_idle = Duration::seconds(12);    // OFF period (exponential)
-  double pace_load = 0.95;        // share of mu the session sustains
-  double bottleneck_bps = 128e3;  // mu the pacing is computed against
-  std::int64_t packet_bytes = kFtpWireBytes;
+  double pace_load = 0.95;  // share of mu the session sustains
+  Bandwidth bottleneck = Bandwidth::kbps(128);  // mu pacing is computed from
+  ByteSize packet = kFtpWireBytes;
 };
 
 class FtpSessionSource final : public TrafficSource {
@@ -150,8 +151,8 @@ class FtpSessionSource final : public TrafficSource {
 struct VbrVideoConfig {
   Duration min_interval = Duration::millis(15);
   Duration max_interval = Duration::millis(120);
-  std::int64_t min_packet_bytes = 200;
-  std::int64_t max_packet_bytes = 1400;
+  ByteSize min_packet = ByteSize::bytes(200);
+  ByteSize max_packet = ByteSize::bytes(1400);
 };
 
 class VbrVideoSource final : public TrafficSource {
@@ -175,7 +176,7 @@ struct ModulatedPoissonConfig {
   Duration mean_interarrival = Duration::millis(20);  // at the *average* rate
   double relative_amplitude = 0.5;                    // in [0, 1)
   Duration period = Duration::minutes(5);
-  std::int64_t packet_bytes = kTelnetWireBytes;
+  ByteSize packet = kTelnetWireBytes;
 };
 
 class ModulatedPoissonSource final : public TrafficSource {
@@ -196,7 +197,7 @@ struct OnOffConfig {
   Duration mean_on = Duration::millis(500);
   Duration mean_off = Duration::millis(500);
   Duration on_interval = Duration::millis(10);  // packet spacing while ON
-  std::int64_t packet_bytes = kFtpWireBytes;
+  ByteSize packet = kFtpWireBytes;
   /// When > 0, ON/OFF period lengths are Pareto with this shape (scale
   /// chosen to keep the configured means for shape > 1).  Shapes in
   /// (1, 2) have infinite variance — the Willinger construction whose

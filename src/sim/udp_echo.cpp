@@ -36,11 +36,11 @@ UdpEchoSource::UdpEchoSource(Simulator& sim, Network& net, NodeId source,
   if (config_.delta <= Duration::zero()) {
     throw std::invalid_argument("UdpEchoSource: delta must be positive");
   }
-  if (config_.probe_wire_bytes <= 0) {
+  if (config_.probe_wire <= ByteSize::zero()) {
     throw std::invalid_argument("UdpEchoSource: probe size must be positive");
   }
   trace_.delta = config_.delta;
-  trace_.probe_wire_bytes = config_.probe_wire_bytes;
+  trace_.probe_wire_bytes = config_.probe_wire.count();
   trace_.clock_tick = config_.clock_tick.value_or(Duration::zero());
   trace_.records.reserve(config_.probe_count);
   net_.set_receiver(source_,
@@ -70,7 +70,7 @@ void UdpEchoSource::send_next() {
   p.id = (static_cast<std::uint64_t>(config_.flow) << 40) + next_seq_;
   p.kind = PacketKind::kProbe;
   p.flow = config_.flow;
-  p.size_bytes = config_.probe_wire_bytes;
+  p.size_bytes = config_.probe_wire.count();
   p.src = source_;
   p.dst = echo_;
   p.created = sim_.now();

@@ -16,6 +16,7 @@
 #include "sim/packet.h"
 #include "sim/simulator.h"
 #include "util/time.h"
+#include "util/units.h"
 
 namespace bolot::obs {
 class MetricsRegistry;
@@ -43,7 +44,7 @@ class EchoHost {
 
 struct ProbeSourceConfig {
   Duration delta = Duration::millis(50);          // send interval
-  std::int64_t probe_wire_bytes = kProbeWireBytes;
+  ByteSize probe_wire = kProbeWireBytes;
   std::uint64_t probe_count = 12000;              // 10 min at 50 ms
   /// When set, send/receive timestamps are floored to a multiple of this
   /// tick (e.g. kDecstationTick), as a coarse host clock would report.

@@ -1,0 +1,398 @@
+// Compile-time dimensional analysis for the quantities the paper mixes in
+// every formula: bandwidths (bits/s), sizes (bytes vs bits), event rates
+// (1/s) and probabilities ([0, 1]).
+//
+// Only time was strongly typed before this header (util/time.h Duration);
+// everything else travelled as bare `double rate_bps` / `int64 bytes`
+// scalars, so a bits-vs-bytes or bps-vs-Bps mixup compiled silently.  The
+// types here make the compiler reject that bug class:
+//
+//   * construction from a raw scalar is `explicit` — no implicit
+//     `double -> Probability` or `int -> ByteSize`;
+//   * there is no arithmetic across dimensions (`Bandwidth + ByteSize`
+//     does not compile), only the physically meaningful operations
+//     (`Bandwidth::transmission_time(ByteSize) -> Duration`);
+//   * ByteSize <-> BitSize conversion exists but is explicit and checked
+//     (bits -> bytes throws unless divisible by 8).
+//
+// Every negative-compilation guarantee is regression-pinned by
+// tests/compile_fail/ (each `explicit` keyword and conversion rule has a
+// one-liner that must NOT compile; CI builds them with GCC and Clang).
+//
+// Zero overhead by construction: each type wraps exactly the scalar the
+// old code passed (same representation, same arithmetic, `constexpr`
+// everywhere, trivially copyable — static_asserts below pin that), so the
+// refactor is byte-identical at runtime, and serialization keeps writing
+// the raw SI doubles (MODEL_NOTES §16 has the layer-by-layer unit table).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <type_traits>
+
+#include "util/time.h"
+
+namespace bolot {
+
+class BitSize;
+class ByteSize;
+
+/// A size in whole bytes (wire sizes: payload + headers).  Value-semantic,
+/// totally ordered, no implicit construction from raw integers.
+class ByteSize {
+ public:
+  constexpr ByteSize() = default;
+  /// Explicit: `ByteSize s = 1500;` must not compile (is the 1500 bytes
+  /// or bits?).  Pinned by tests/compile_fail/bytesize_implicit_int.cc.
+  constexpr explicit ByteSize(std::int64_t bytes) : bytes_(bytes) {}
+
+  static constexpr ByteSize bytes(std::int64_t n) { return ByteSize(n); }
+  static constexpr ByteSize zero() { return ByteSize(0); }
+
+  constexpr std::int64_t count() const { return bytes_; }
+  /// The exact bit count (for rate math; Duration-producing callers want
+  /// Bandwidth::transmission_time instead).
+  constexpr std::int64_t bit_count() const { return bytes_ * 8; }
+
+  /// Explicit, exact widening conversion; the narrowing direction lives on
+  /// BitSize and is checked.  Pinned by
+  /// tests/compile_fail/bytesize_where_bitsize.cc.
+  constexpr explicit operator BitSize() const;
+
+  constexpr bool is_zero() const { return bytes_ == 0; }
+  friend constexpr auto operator<=>(ByteSize, ByteSize) = default;
+
+  friend constexpr ByteSize operator+(ByteSize a, ByteSize b) {
+    return ByteSize(a.bytes_ + b.bytes_);
+  }
+  friend constexpr ByteSize operator-(ByteSize a, ByteSize b) {
+    return ByteSize(a.bytes_ - b.bytes_);
+  }
+  constexpr ByteSize& operator+=(ByteSize other) {
+    bytes_ += other.bytes_;
+    return *this;
+  }
+  constexpr ByteSize& operator-=(ByteSize other) {
+    bytes_ -= other.bytes_;
+    return *this;
+  }
+  friend constexpr ByteSize operator*(ByteSize a, std::int64_t k) {
+    return ByteSize(a.bytes_ * k);
+  }
+  friend constexpr ByteSize operator*(std::int64_t k, ByteSize a) {
+    return a * k;
+  }
+  /// How many packets of size `b` fit in `a` (integer quotient).
+  friend constexpr std::int64_t operator/(ByteSize a, ByteSize b) {
+    return a.bytes_ / b.bytes_;
+  }
+
+ private:
+  std::int64_t bytes_ = 0;
+};
+
+/// A size in bits.  Exists so formulas that are naturally in bits (the
+/// paper's P, the model's batch sizes) can say so in their types; mixing
+/// it up with ByteSize is a compile error, and converting is explicit.
+class BitSize {
+ public:
+  constexpr BitSize() = default;
+  /// Explicit for the same reason as ByteSize.  Pinned by
+  /// tests/compile_fail/bitsize_implicit_int.cc.
+  constexpr explicit BitSize(std::int64_t bits) : bits_(bits) {}
+
+  static constexpr BitSize bits(std::int64_t n) { return BitSize(n); }
+  static constexpr BitSize of(ByteSize b) { return BitSize(b.bit_count()); }
+  static constexpr BitSize zero() { return BitSize(0); }
+
+  constexpr std::int64_t count() const { return bits_; }
+
+  /// Checked narrowing: throws unless the bit count is a whole number of
+  /// bytes.  Explicit — passing a BitSize where a ByteSize is required
+  /// must not compile (pinned by
+  /// tests/compile_fail/bitsize_where_bytesize.cc).
+  constexpr explicit operator ByteSize() const {
+    if (bits_ % 8 != 0) {
+      throw std::invalid_argument(
+          "BitSize: not a whole number of bytes");
+    }
+    return ByteSize(bits_ / 8);
+  }
+  constexpr ByteSize to_bytes() const { return ByteSize(*this); }
+
+  constexpr bool is_zero() const { return bits_ == 0; }
+  friend constexpr auto operator<=>(BitSize, BitSize) = default;
+
+  friend constexpr BitSize operator+(BitSize a, BitSize b) {
+    return BitSize(a.bits_ + b.bits_);
+  }
+  friend constexpr BitSize operator-(BitSize a, BitSize b) {
+    return BitSize(a.bits_ - b.bits_);
+  }
+  constexpr BitSize& operator+=(BitSize other) {
+    bits_ += other.bits_;
+    return *this;
+  }
+  friend constexpr BitSize operator*(BitSize a, std::int64_t k) {
+    return BitSize(a.bits_ * k);
+  }
+  friend constexpr BitSize operator*(std::int64_t k, BitSize a) {
+    return a * k;
+  }
+
+ private:
+  std::int64_t bits_ = 0;
+};
+
+constexpr ByteSize::operator BitSize() const { return BitSize(bytes_ * 8); }
+
+/// A transmission rate in bits per second, stored as the same double the
+/// raw `rate_bps` fields held, so every formula reading `.bps()` computes
+/// bit-for-bit what it did before the refactor.  Negative values are
+/// representable (rate *deltas*, e.g. FluidAggregate::adjust_rate);
+/// transmission_time() enforces positivity exactly where the old helper
+/// did.
+class Bandwidth {
+ public:
+  constexpr Bandwidth() = default;
+  /// Explicit: `Bandwidth b = 1e6;` must not compile (bps or Bps?).
+  /// Pinned by tests/compile_fail/bandwidth_implicit_double.cc.
+  constexpr explicit Bandwidth(double bits_per_second)
+      : bps_(bits_per_second) {}
+
+  static constexpr Bandwidth bps(double v) { return Bandwidth(v); }
+  static constexpr Bandwidth kbps(double v) { return Bandwidth(v * 1e3); }
+  static constexpr Bandwidth mbps(double v) { return Bandwidth(v * 1e6); }
+  static constexpr Bandwidth gbps(double v) { return Bandwidth(v * 1e9); }
+  static constexpr Bandwidth zero() { return Bandwidth(0.0); }
+
+  constexpr double bps() const { return bps_; }
+  constexpr bool is_positive() const { return bps_ > 0.0; }
+  constexpr bool is_zero() const { return bps_ == 0.0; }
+
+  /// Time to serialize `size` onto this wire, rounded to the nearest
+  /// nanosecond — the exact computation of the legacy
+  /// transmission_time(bits, bps) helper, including its domain checks
+  /// (tests/util/units_test.cpp pins equality over 10^6 random pairs).
+  constexpr Duration transmission_time(ByteSize size) const {
+    return transmission_time(BitSize::of(size));
+  }
+  constexpr Duration transmission_time(BitSize size) const {
+    if (size.count() < 0) {
+      throw std::invalid_argument("transmission_time: bits < 0");
+    }
+    if (bps_ <= 0.0) {
+      throw std::invalid_argument("transmission_time: rate must be positive");
+    }
+    return Duration::seconds(static_cast<double>(size.count()) / bps_);
+  }
+
+  friend constexpr auto operator<=>(Bandwidth, Bandwidth) = default;
+
+  friend constexpr Bandwidth operator+(Bandwidth a, Bandwidth b) {
+    return Bandwidth(a.bps_ + b.bps_);
+  }
+  friend constexpr Bandwidth operator-(Bandwidth a, Bandwidth b) {
+    return Bandwidth(a.bps_ - b.bps_);
+  }
+  constexpr Bandwidth operator-() const { return Bandwidth(-bps_); }
+  constexpr Bandwidth& operator+=(Bandwidth other) {
+    bps_ += other.bps_;
+    return *this;
+  }
+  constexpr Bandwidth& operator-=(Bandwidth other) {
+    bps_ -= other.bps_;
+    return *this;
+  }
+  friend constexpr Bandwidth operator*(Bandwidth a, double k) {
+    return Bandwidth(a.bps_ * k);
+  }
+  friend constexpr Bandwidth operator*(double k, Bandwidth a) { return a * k; }
+  friend constexpr Bandwidth operator/(Bandwidth a, double k) {
+    return Bandwidth(a.bps_ / k);
+  }
+  /// Dimensionless ratio, e.g. a utilization rho = demand / capacity.
+  friend constexpr double operator/(Bandwidth a, Bandwidth b) {
+    return a.bps_ / b.bps_;
+  }
+
+ private:
+  double bps_ = 0.0;
+};
+
+/// An event rate (packets/s, probes/s, ...), distinct from Bandwidth so
+/// "events per second" and "bits per second" cannot be mixed.
+class Rate {
+ public:
+  constexpr Rate() = default;
+  /// Explicit; pinned by tests/compile_fail/rate_implicit_double.cc.
+  constexpr explicit Rate(double per_second) : per_second_(per_second) {}
+
+  static constexpr Rate per_second(double v) { return Rate(v); }
+  static constexpr Rate zero() { return Rate(0.0); }
+
+  constexpr double count_per_second() const { return per_second_; }
+  constexpr bool is_positive() const { return per_second_ > 0.0; }
+
+  /// Mean spacing between events; throws on a non-positive rate.
+  constexpr Duration period() const {
+    if (per_second_ <= 0.0) {
+      throw std::invalid_argument("Rate::period: rate must be positive");
+    }
+    return Duration::seconds(1.0 / per_second_);
+  }
+
+  friend constexpr auto operator<=>(Rate, Rate) = default;
+  friend constexpr Rate operator+(Rate a, Rate b) {
+    return Rate(a.per_second_ + b.per_second_);
+  }
+  friend constexpr Rate operator*(Rate a, double k) {
+    return Rate(a.per_second_ * k);
+  }
+  friend constexpr Rate operator*(double k, Rate a) { return a * k; }
+  friend constexpr double operator/(Rate a, Rate b) {
+    return a.per_second_ / b.per_second_;
+  }
+
+ private:
+  double per_second_ = 0.0;
+};
+
+/// A probability, checked into [0, 1] at construction (a NaN fails the
+/// range comparison and is rejected too).  The check runs at every
+/// construction — probabilities are built at configuration time, never on
+/// the per-packet path, so there is nothing to elide — and in a constexpr
+/// context an out-of-range value is a *compile* error
+/// (tests/compile_fail/probability_out_of_range.cc).
+class Probability {
+ public:
+  constexpr Probability() = default;
+  /// Explicit AND checked: `Probability p = 0.97;` must not compile
+  /// (pinned by tests/compile_fail/probability_implicit_double.cc), and
+  /// `Probability(1.5)` / `Probability(nan)` throw.
+  constexpr explicit Probability(double p) : p_(p) {
+    if (!(p >= 0.0 && p <= 1.0)) {
+      throw std::invalid_argument("Probability: value outside [0, 1]");
+    }
+  }
+
+  /// The checked constructor under the name tools/lint_static.py audits
+  /// for: every Probability-typed field must trace to one of these.
+  static constexpr Probability checked(double p) { return Probability(p); }
+  static constexpr Probability zero() { return Probability(0.0); }
+  static constexpr Probability one() { return Probability(1.0); }
+
+  constexpr double value() const { return p_; }
+  constexpr bool is_zero() const { return p_ == 0.0; }
+
+  /// 1 - p, exact for the representable endpoints.
+  constexpr Probability complement() const { return Probability(1.0 - p_); }
+  /// p / (1 - p); +inf at p == 1.
+  constexpr double odds() const { return p_ / (1.0 - p_); }
+
+  friend constexpr auto operator<=>(Probability, Probability) = default;
+
+ private:
+  double p_ = 0.0;
+};
+
+// Zero-overhead contract: every unit is exactly its underlying scalar —
+// same size, trivially copyable, nothing to allocate or destroy — so a
+// struct holding them has the layout it had with raw fields, and passing
+// them by value costs one register.
+static_assert(sizeof(ByteSize) == sizeof(std::int64_t));
+static_assert(sizeof(BitSize) == sizeof(std::int64_t));
+static_assert(sizeof(Bandwidth) == sizeof(double));
+static_assert(sizeof(Rate) == sizeof(double));
+static_assert(sizeof(Probability) == sizeof(double));
+static_assert(std::is_trivially_copyable_v<ByteSize> &&
+              std::is_trivially_copyable_v<BitSize> &&
+              std::is_trivially_copyable_v<Bandwidth> &&
+              std::is_trivially_copyable_v<Rate> &&
+              std::is_trivially_copyable_v<Probability>);
+static_assert(std::is_trivially_destructible_v<ByteSize> &&
+              std::is_trivially_destructible_v<Bandwidth> &&
+              std::is_trivially_destructible_v<Probability>);
+static_assert(std::is_standard_layout_v<ByteSize> &&
+              std::is_standard_layout_v<BitSize> &&
+              std::is_standard_layout_v<Bandwidth> &&
+              std::is_standard_layout_v<Rate> &&
+              std::is_standard_layout_v<Probability>);
+
+/// User-defined literals: `using namespace bolot::literals;` then
+/// `64_KiB`, `1.5_Mbps`, `10_ms`, `512_B`, `50_pps`.
+namespace literals {
+
+constexpr ByteSize operator""_B(unsigned long long n) {
+  return ByteSize::bytes(static_cast<std::int64_t>(n));
+}
+constexpr ByteSize operator""_KiB(unsigned long long n) {
+  return ByteSize::bytes(static_cast<std::int64_t>(n) * 1024);
+}
+constexpr ByteSize operator""_MiB(unsigned long long n) {
+  return ByteSize::bytes(static_cast<std::int64_t>(n) * 1024 * 1024);
+}
+constexpr BitSize operator""_bit(unsigned long long n) {
+  return BitSize::bits(static_cast<std::int64_t>(n));
+}
+
+constexpr Bandwidth operator""_bps(unsigned long long n) {
+  return Bandwidth::bps(static_cast<double>(n));
+}
+constexpr Bandwidth operator""_bps(long double v) {
+  return Bandwidth::bps(static_cast<double>(v));
+}
+constexpr Bandwidth operator""_kbps(unsigned long long n) {
+  return Bandwidth::kbps(static_cast<double>(n));
+}
+constexpr Bandwidth operator""_kbps(long double v) {
+  return Bandwidth::kbps(static_cast<double>(v));
+}
+constexpr Bandwidth operator""_Mbps(unsigned long long n) {
+  return Bandwidth::mbps(static_cast<double>(n));
+}
+constexpr Bandwidth operator""_Mbps(long double v) {
+  return Bandwidth::mbps(static_cast<double>(v));
+}
+constexpr Bandwidth operator""_Gbps(unsigned long long n) {
+  return Bandwidth::gbps(static_cast<double>(n));
+}
+constexpr Bandwidth operator""_Gbps(long double v) {
+  return Bandwidth::gbps(static_cast<double>(v));
+}
+
+constexpr Rate operator""_pps(unsigned long long n) {
+  return Rate::per_second(static_cast<double>(n));
+}
+constexpr Rate operator""_pps(long double v) {
+  return Rate::per_second(static_cast<double>(v));
+}
+constexpr Rate operator""_Hz(unsigned long long n) {
+  return Rate::per_second(static_cast<double>(n));
+}
+
+constexpr Duration operator""_ns(unsigned long long n) {
+  return Duration::nanos(static_cast<std::int64_t>(n));
+}
+constexpr Duration operator""_us(unsigned long long n) {
+  return Duration::micros(static_cast<double>(n));
+}
+constexpr Duration operator""_us(long double v) {
+  return Duration::micros(static_cast<double>(v));
+}
+constexpr Duration operator""_ms(unsigned long long n) {
+  return Duration::millis(static_cast<double>(n));
+}
+constexpr Duration operator""_ms(long double v) {
+  return Duration::millis(static_cast<double>(v));
+}
+constexpr Duration operator""_s(unsigned long long n) {
+  return Duration::seconds(static_cast<double>(n));
+}
+constexpr Duration operator""_s(long double v) {
+  return Duration::seconds(static_cast<double>(v));
+}
+
+}  // namespace literals
+
+}  // namespace bolot

@@ -1,0 +1,16 @@
+// Guard pinned: the `explicit` on Bandwidth's double constructor.  A bare
+// `Bandwidth b = 1e6;` does not say whether the scalar is bits or bytes
+// per second, so it must not compile.
+#include "util/units.h"
+
+using namespace bolot;
+
+int main() {
+  const Bandwidth direct{1e6};
+  const Bandwidth named = Bandwidth::bps(1e6);
+#ifdef COMPILE_FAIL
+  Bandwidth implicit = 1e6;
+  (void)implicit;
+#endif
+  return direct == named ? 0 : 1;
+}

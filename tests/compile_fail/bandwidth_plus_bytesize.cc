@@ -1,0 +1,19 @@
+// Guard pinned: no operator+(Bandwidth, ByteSize) exists — units.h defines
+// arithmetic only within a dimension, so adding a rate to a size is a
+// compile error instead of a silently meaningless double.
+#include "util/units.h"
+
+using namespace bolot;
+
+int main() {
+  const Bandwidth rate = Bandwidth::kbps(128);
+  const ByteSize packet = ByteSize::bytes(512);
+  // Positive control: same-dimension arithmetic compiles.
+  const Bandwidth doubled = rate + rate;
+  const ByteSize two = packet + packet;
+#ifdef COMPILE_FAIL
+  auto nonsense = rate + packet;
+  (void)nonsense;
+#endif
+  return doubled.bps() > 0.0 && two.count() > 0 ? 0 : 1;
+}

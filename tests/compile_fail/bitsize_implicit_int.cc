@@ -1,0 +1,14 @@
+// Guard pinned: the `explicit` on BitSize's int64 constructor.
+#include "util/units.h"
+
+using namespace bolot;
+
+int main() {
+  const BitSize direct{576};
+  const BitSize named = BitSize::bits(576);
+#ifdef COMPILE_FAIL
+  BitSize implicit = 576;
+  (void)implicit;
+#endif
+  return direct == named ? 0 : 1;
+}

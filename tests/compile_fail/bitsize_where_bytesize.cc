@@ -1,0 +1,21 @@
+// Guard pinned: the `explicit` on BitSize's conversion operator to
+// ByteSize.  A function taking ByteSize must not accept a BitSize without
+// a visible (and checked — bits % 8) conversion at the call site.
+#include "util/units.h"
+
+using namespace bolot;
+
+namespace {
+std::int64_t takes_bytes(ByteSize size) { return size.count(); }
+}  // namespace
+
+int main() {
+  const BitSize wire = BitSize::bits(576);
+  // Positive control: the explicit conversion compiles.
+  const std::int64_t ok = takes_bytes(static_cast<ByteSize>(wire));
+#ifdef COMPILE_FAIL
+  const std::int64_t bad = takes_bytes(wire);
+  (void)bad;
+#endif
+  return ok == 72 ? 0 : 1;
+}

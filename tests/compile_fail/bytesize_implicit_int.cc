@@ -1,0 +1,14 @@
+// Guard pinned: the `explicit` on ByteSize's int64 constructor.
+#include "util/units.h"
+
+using namespace bolot;
+
+int main() {
+  const ByteSize direct{512};
+  const ByteSize named = ByteSize::bytes(512);
+#ifdef COMPILE_FAIL
+  ByteSize implicit = 512;
+  (void)implicit;
+#endif
+  return direct == named ? 0 : 1;
+}

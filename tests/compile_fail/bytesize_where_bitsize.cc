@@ -1,0 +1,19 @@
+// Guard pinned: the `explicit` on ByteSize's conversion operator to
+// BitSize (the widening direction is exact but still must be spelled out).
+#include "util/units.h"
+
+using namespace bolot;
+
+namespace {
+std::int64_t takes_bits(BitSize size) { return size.count(); }
+}  // namespace
+
+int main() {
+  const ByteSize wire = ByteSize::bytes(72);
+  const std::int64_t ok = takes_bits(BitSize::of(wire));
+#ifdef COMPILE_FAIL
+  const std::int64_t bad = takes_bits(wire);
+  (void)bad;
+#endif
+  return ok == 576 ? 0 : 1;
+}

@@ -1,0 +1,39 @@
+# Negative-compilation check, run at ctest time (one invocation per case).
+#
+# Each case file is a valid translation unit on its own (the positive
+# control, compiled into compile_fail_controls at build time so the guard
+# on the *valid* spellings can never rot) and encloses exactly one
+# ill-formed statement in `#ifdef COMPILE_FAIL`.  This script re-invokes
+# the configured compiler on the same file WITH -DCOMPILE_FAIL and
+# succeeds only if that compile FAILS — i.e. the `explicit` / deleted /
+# consteval guard the case pins is still present.  Removing any single
+# guard from units.h (or pdes.h / inplace_function.h) flips at least one
+# case to "compiles", which this script reports as a test failure.
+#
+# Expected -D inputs: COMPILER, SOURCE, INCLUDE_DIR, and optionally
+# EXTRA_FLAGS (a ;-list appended verbatim, e.g. a -std override).
+
+if(NOT COMPILER OR NOT SOURCE OR NOT INCLUDE_DIR)
+  message(FATAL_ERROR "check_compile_fail.cmake needs COMPILER, SOURCE and "
+                      "INCLUDE_DIR")
+endif()
+
+set(flags -std=c++20 -fsyntax-only -DCOMPILE_FAIL "-I${INCLUDE_DIR}")
+if(EXTRA_FLAGS)
+  list(APPEND flags ${EXTRA_FLAGS})
+endif()
+
+execute_process(
+  COMMAND "${COMPILER}" ${flags} "${SOURCE}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE compile_output
+  ERROR_VARIABLE compile_errors)
+
+if(exit_code EQUAL 0)
+  message(FATAL_ERROR
+      "${SOURCE} compiled cleanly with -DCOMPILE_FAIL — a dimensional "
+      "guard has been removed or weakened.  The #ifdef COMPILE_FAIL block "
+      "in the case file documents which guard this pins.")
+endif()
+
+message(STATUS "rejected as expected: ${SOURCE}")

@@ -1,0 +1,21 @@
+// Guard pinned: the static_assert(sizeof(D) <= Capacity) in
+// InplaceFunction::construct — the allocation-free hot path's closures
+// must fit inline, so an oversized capture is a compile error, never a
+// heap fallback.
+#include <cstdint>
+
+#include "util/inplace_function.h"
+
+using bolot::util::InplaceFunction;
+
+int main() {
+  // Positive control: a closure within the 32-byte capacity compiles.
+  std::int64_t a = 1, b = 2;
+  InplaceFunction<std::int64_t(), 32> small = [a, b] { return a + b; };
+#ifdef COMPILE_FAIL
+  std::int64_t big[16] = {};
+  InplaceFunction<std::int64_t(), 32> oversized = [big] { return big[0]; };
+  (void)oversized;
+#endif
+  return small() == 3 ? 0 : 1;
+}

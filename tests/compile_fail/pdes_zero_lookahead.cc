@@ -1,0 +1,18 @@
+// Guard pinned: the consteval checked_cut_lookahead in sim/pdes.h.  A
+// zero-lookahead cut deadlocks the conservative kernel; when the
+// partition's lookahead is statically known, the guard turns that mistake
+// into a compile error (attach() keeps the runtime check for dynamic
+// topologies).
+#include "sim/pdes.h"
+
+using namespace bolot;
+
+int main() {
+  // Positive control: a positive lookahead constant-evaluates fine.
+  constexpr Duration ok = sim::checked_cut_lookahead(Duration::millis(10));
+#ifdef COMPILE_FAIL
+  constexpr Duration bad = sim::checked_cut_lookahead(Duration::zero());
+  (void)bad;
+#endif
+  return ok > Duration::zero() ? 0 : 1;
+}

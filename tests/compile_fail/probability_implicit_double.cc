@@ -1,0 +1,18 @@
+// Guard pinned: the `explicit` on Probability's double constructor.
+// Copy-initialization from a raw double must not compile — the call site
+// has to say Probability::checked(p) (or zero()/one()) so the [0, 1]
+// check is visibly in the construction path.
+#include "util/units.h"
+
+using namespace bolot;
+
+int main() {
+  // Positive control: the explicit spellings compile.
+  const Probability direct{0.5};
+  const Probability named = Probability::checked(0.5);
+#ifdef COMPILE_FAIL
+  Probability implicit = 0.5;
+  (void)implicit;
+#endif
+  return direct == named ? 0 : 1;
+}

@@ -1,0 +1,15 @@
+// Guard pinned: the range check in Probability's constructor.  In a
+// constant-evaluated context the `throw` is not a constant expression, so
+// an out-of-range literal is a compile error, not a runtime surprise.
+#include "util/units.h"
+
+using namespace bolot;
+
+int main() {
+  constexpr Probability ok = Probability::checked(0.97);
+#ifdef COMPILE_FAIL
+  constexpr Probability bad = Probability::checked(1.5);
+  (void)bad;
+#endif
+  return ok.value() < 1.0 ? 0 : 1;
+}

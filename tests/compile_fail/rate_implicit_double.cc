@@ -1,0 +1,15 @@
+// Guard pinned: the `explicit` on Rate's double constructor (events/s and
+// bits/s must not be interchangeable scalars).
+#include "util/units.h"
+
+using namespace bolot;
+
+int main() {
+  const Rate direct{50.0};
+  const Rate named = Rate::per_second(50.0);
+#ifdef COMPILE_FAIL
+  Rate implicit = 50.0;
+  (void)implicit;
+#endif
+  return direct == named ? 0 : 1;
+}

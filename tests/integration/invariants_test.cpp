@@ -27,10 +27,10 @@ TEST_P(ConservationSweep, LinkConservesPackets) {
   const auto b = net.add_node("b");
   sim::LinkConfig config;
   Rng knobs(GetParam());
-  config.rate_bps = knobs.uniform(64e3, 10e6);
+  config.rate = Bandwidth::bps(knobs.uniform(64e3, 10e6));
   config.propagation = Duration::millis(knobs.uniform(0.1, 50.0));
   config.buffer_packets = 1 + knobs.uniform_int(40);
-  config.random_drop_probability = knobs.uniform(0.0, 0.05);
+  config.random_drop_probability = Probability::checked(knobs.uniform(0.0, 0.05));
   net.add_duplex_link(a, b, config);
 
   // A burst mix sized to stress the buffer.
@@ -38,13 +38,14 @@ TEST_P(ConservationSweep, LinkConservesPackets) {
   sim::BurstConfig bursts;
   bursts.mean_burst_gap = Duration::millis(knobs.uniform(20.0, 300.0));
   bursts.mean_burst_packets = 1.0 + knobs.uniform(0.0, 15.0);
-  bursts.packet_bytes = 512;
+  bursts.packet = ByteSize::bytes(512);
   sources.push_back(std::make_unique<sim::BurstSource>(
       simulator, net, a, b, 1, sim::PacketKind::kBulk, Rng(GetParam() + 1),
       bursts));
   sources.push_back(std::make_unique<sim::PoissonSource>(
       simulator, net, a, b, 2, sim::PacketKind::kInteractive,
-      Rng(GetParam() + 2), Duration::millis(knobs.uniform(2.0, 30.0)), 64));
+      Rng(GetParam() + 2), Duration::millis(knobs.uniform(2.0, 30.0)),
+      ByteSize::bytes(64)));
 
   std::uint64_t delivered = 0;
   net.set_receiver(b, [&](sim::Packet&&) { ++delivered; });

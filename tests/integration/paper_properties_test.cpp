@@ -56,7 +56,7 @@ TEST(PaperProperties, Fig4LargeDeltaDiagonal) {
 TEST(PaperProperties, Fig8WorkloadPeaks) {
   const auto result = run_inria_umd(plan_at(20, 10));
   analysis::WorkloadOptions options;
-  options.bottleneck_bps = scenario::kInriaUmdBottleneckBps;
+  options.bottleneck_bps = scenario::kInriaUmdBottleneck.bps();
   options.bin_ms = 2.0;
   options.max_ms = 90.0;
   const auto workload = analysis::analyze_workload(result.trace, options);
@@ -172,7 +172,7 @@ TEST(PaperProperties, ProbeSelfLoadRaisesUtilization) {
 // rtt just before the loss.
 TEST(PaperProperties, LossesCorrelateWithDelay) {
   scenario::ScenarioOverrides overrides;
-  overrides.faulty_interface_drop = 0.0;  // congestion losses only
+  overrides.faulty_interface_drop = Probability::checked(0.0);  // congestion losses only
   const auto result = run_inria_umd(plan_at(50, 10), overrides);
   EXPECT_GT(analysis::loss_delay_correlation(result.trace), 0.15);
 }
@@ -258,8 +258,8 @@ TEST(PaperProperties, ObservationsHoldOnOtherConnections) {
   exact_clock.clock_tick = Duration::zero();
   const auto exact = scenario::run_inria_europe(plan, exact_clock);
   const auto mu = analysis::estimate_bottleneck(exact.trace);
-  EXPECT_NEAR(mu.mu_bps, scenario::kInriaEuropeBottleneckBps,
-              0.5 * scenario::kInriaEuropeBottleneckBps);
+  EXPECT_NEAR(mu.mu_bps, scenario::kInriaEuropeBottleneck.bps(),
+              0.5 * scenario::kInriaEuropeBottleneck.bps());
 }
 
 }  // namespace

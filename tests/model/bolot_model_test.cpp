@@ -14,8 +14,8 @@ namespace {
 
 ModelConfig base_config() {
   ModelConfig config;
-  config.mu_bps = 128e3;
-  config.probe_bits = 72 * 8;
+  config.mu = Bandwidth::bps(128e3);
+  config.probe = BitSize::bits(72 * 8);
   config.delta = Duration::millis(20);
   config.fixed_rtt = Duration::millis(140);
   config.buffer_packets = 16;
@@ -73,7 +73,8 @@ TEST(RunModelTest, CompressionEmergesFromTheRecursion) {
   // busy periods in which consecutive probes drain back to back.
   ModelConfig config = base_config();
   config.batch_bits =
-      bulk_interactive_mix(0.10, 6.0, 512, 0.30, 64);
+      bulk_interactive_mix(Probability::checked(0.10), 6.0, ByteSize::bytes(512),
+                           Probability::checked(0.30), ByteSize::bytes(64));
   config.seed = 7;
   const ModelRun run = run_model(config);
   const auto phase = analysis::analyze_phase_plot(run.trace);
@@ -85,7 +86,8 @@ TEST(RunModelTest, CompressionEmergesFromTheRecursion) {
 
 TEST(RunModelTest, BottleneckEstimatorRecoversMuFromModelTrace) {
   ModelConfig config = base_config();
-  config.batch_bits = bulk_interactive_mix(0.10, 6.0, 512, 0.30, 64);
+  config.batch_bits = bulk_interactive_mix(Probability::checked(0.10), 6.0, ByteSize::bytes(512),
+                           Probability::checked(0.30), ByteSize::bytes(64));
   const ModelRun run = run_model(config);
   const auto estimate = analysis::estimate_bottleneck(run.trace);
   EXPECT_NEAR(estimate.mu_bps, 128e3, 15e3);
@@ -93,7 +95,8 @@ TEST(RunModelTest, BottleneckEstimatorRecoversMuFromModelTrace) {
 
 TEST(RunModelTest, LightLoadLossesAreRare) {
   ModelConfig config = base_config();
-  config.batch_bits = bulk_interactive_mix(0.02, 2.0, 512, 0.10, 64);
+  config.batch_bits = bulk_interactive_mix(Probability::checked(0.02), 2.0, ByteSize::bytes(512),
+                           Probability::checked(0.10), ByteSize::bytes(64));
   const ModelRun run = run_model(config);
   const auto loss = analysis::loss_stats(run.trace);
   EXPECT_LT(loss.ulp, 0.01);
@@ -101,7 +104,8 @@ TEST(RunModelTest, LightLoadLossesAreRare) {
 
 TEST(RunModelTest, DeterministicForFixedSeed) {
   ModelConfig config = base_config();
-  config.batch_bits = bulk_interactive_mix(0.1, 4.0, 512, 0.2, 64);
+  config.batch_bits = bulk_interactive_mix(Probability::checked(0.1), 4.0, ByteSize::bytes(512),
+                           Probability::checked(0.2), ByteSize::bytes(64));
   config.seed = 99;
   const ModelRun a = run_model(config);
   const ModelRun b = run_model(config);
@@ -115,7 +119,8 @@ TEST(RunModelTest, DeterministicForFixedSeed) {
 TEST(RunModelTest, RandomPhaseStillConserved) {
   ModelConfig config = base_config();
   config.batch_phase = -1.0;  // uniform random
-  config.batch_bits = bulk_interactive_mix(0.1, 4.0, 512, 0.2, 64);
+  config.batch_bits = bulk_interactive_mix(Probability::checked(0.1), 4.0, ByteSize::bytes(512),
+                           Probability::checked(0.2), ByteSize::bytes(64));
   const ModelRun run = run_model(config);
   EXPECT_EQ(run.trace.size(), config.probe_count);
   EXPECT_EQ(run.batches_bits.size(), config.probe_count);
@@ -125,7 +130,7 @@ TEST(RunModelTest, Validation) {
   ModelConfig config = base_config();
   EXPECT_THROW(run_model(config), std::invalid_argument);  // no batch dist
   config.batch_bits = [](Rng&) { return 0.0; };
-  config.mu_bps = 0.0;
+  config.mu = Bandwidth::zero();
   EXPECT_THROW(run_model(config), std::invalid_argument);
   config = base_config();
   config.batch_bits = [](Rng&) { return 0.0; };
@@ -138,7 +143,8 @@ TEST(RunModelTest, Validation) {
 }
 
 TEST(BulkInteractiveMixTest, ProbabilitiesAndSizes) {
-  auto dist = bulk_interactive_mix(0.2, 4.0, 512, 0.3, 64);
+  auto dist = bulk_interactive_mix(Probability::checked(0.2), 4.0, ByteSize::bytes(512),
+                           Probability::checked(0.3), ByteSize::bytes(64));
   Rng rng(5);
   int bulk = 0, interactive = 0, idle = 0;
   const int n = 100000;
@@ -159,9 +165,11 @@ TEST(BulkInteractiveMixTest, ProbabilitiesAndSizes) {
 }
 
 TEST(BulkInteractiveMixTest, Validation) {
-  EXPECT_THROW(bulk_interactive_mix(0.7, 4.0, 512, 0.5, 64),
+  EXPECT_THROW(bulk_interactive_mix(Probability::checked(0.7), 4.0, ByteSize::bytes(512),
+                           Probability::checked(0.5), ByteSize::bytes(64)),
                std::invalid_argument);
-  EXPECT_THROW(bulk_interactive_mix(0.2, 0.5, 512, 0.3, 64),
+  EXPECT_THROW(bulk_interactive_mix(Probability::checked(0.2), 0.5, ByteSize::bytes(512),
+                           Probability::checked(0.3), ByteSize::bytes(64)),
                std::invalid_argument);
 }
 
@@ -184,7 +192,7 @@ TEST_P(LoadSweep, MeanWaitMonotoneInLoad) {
     ModelConfig config = base_config();
     config.buffer_packets = 1000;  // effectively infinite
     const double batch_bits =
-        load * config.mu_bps * config.delta.seconds() - 576.0;
+        load * config.mu.bps() * config.delta.seconds() - 576.0;
     config.batch_bits = [batch_bits](Rng& rng) {
       return rng.exponential(batch_bits);
     };

@@ -11,11 +11,11 @@ namespace {
 
 ModelConfig base_config() {
   ModelConfig config;
-  config.mu_bps = 128e3;
-  config.probe_bits = 72 * 8;   // 4.5 ms service
+  config.mu = Bandwidth::bps(128e3);
+  config.probe = BitSize::bits(72 * 8);   // 4.5 ms service
   config.delta = Duration::millis(20);
   config.buffer_packets = 16;
-  config.batch_packet_bits = 512 * 8;
+  config.batch_packet = BitSize::bits(512 * 8);
   config.batch_phase = 0.5;
   return config;
 }

@@ -22,7 +22,7 @@ TEST(PathEmulatorTest, AddsConfiguredPropagationDelay) {
   PathEmulatorConfig config;
   config.target = loopback(echo.port());
   config.one_way_delay = Duration::millis(30);
-  config.rate_bps = 0.0;  // isolate the propagation component
+  config.rate = Bandwidth::bps(0.0);  // isolate the propagation component
   PathEmulator wan(0, config);
   wan.start();
 
@@ -48,8 +48,9 @@ TEST(PathEmulatorTest, RandomLossNearConfiguredRate) {
   PathEmulatorConfig config;
   config.target = loopback(echo.port());
   config.one_way_delay = Duration::millis(1);
-  config.rate_bps = 0.0;
-  config.loss_probability = 0.25;  // per traversal: ~44% round trip
+  config.rate = Bandwidth::bps(0.0);
+  config.loss_probability =
+      Probability::checked(0.25);  // per traversal: ~44% round trip
   config.seed = 9;
   PathEmulator wan(0, config);
   wan.start();
@@ -73,7 +74,7 @@ TEST(PathEmulatorTest, RateLimitSerializesBackToBackProbes) {
   PathEmulatorConfig config;
   config.target = loopback(echo.port());
   config.one_way_delay = Duration::millis(2);
-  config.rate_bps = 128e3;  // 32 B datagram -> 2 ms per traversal
+  config.rate = Bandwidth::bps(128e3);  // 32 B datagram -> 2 ms per traversal
   config.buffer_packets = 50;
   PathEmulator wan(0, config);
   wan.start();
@@ -102,7 +103,7 @@ TEST(PathEmulatorTest, OverflowDropsWhenBufferTiny) {
   PathEmulatorConfig config;
   config.target = loopback(echo.port());
   config.one_way_delay = Duration::millis(1);
-  config.rate_bps = 64e3;
+  config.rate = Bandwidth::bps(64e3);
   config.buffer_packets = 2;
   PathEmulator wan(0, config);
   wan.start();
@@ -120,10 +121,10 @@ TEST(PathEmulatorTest, OverflowDropsWhenBufferTiny) {
 
 TEST(PathEmulatorTest, ConfigValidation) {
   PathEmulatorConfig config;
-  config.loss_probability = 1.0;
+  config.loss_probability = Probability::one();
   EXPECT_THROW(PathEmulator(0, config), std::invalid_argument);
   config = PathEmulatorConfig{};
-  config.rate_bps = 128e3;
+  config.rate = Bandwidth::bps(128e3);
   config.buffer_packets = 0;
   EXPECT_THROW(PathEmulator(0, config), std::invalid_argument);
 }

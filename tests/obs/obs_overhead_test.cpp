@@ -110,7 +110,7 @@ ChainRun run_chain3(bool with_obs) {
   const sim::NodeId n2 = net.add_node("n2");
   const sim::NodeId n3 = net.add_node("n3");
   sim::LinkConfig config;
-  config.rate_bps = 1.024e9;
+  config.rate = Bandwidth::bps(1.024e9);
   config.propagation = Duration::micros(10);
   config.buffer_packets = 64;
   config.name = "hop0";
@@ -133,7 +133,7 @@ ChainRun run_chain3(bool with_obs) {
   std::uint64_t received = 0;
   net.set_receiver(n3, [&received](sim::Packet&&) { ++received; });
   sim::CbrSource source(simulator, net, n0, n3, 1, sim::PacketKind::kBulk,
-                        Rng(11), Duration::micros(4), 512);
+                        Rng(11), Duration::micros(4), ByteSize::bytes(512));
   net.compute_routes();
   source.start(SimTime());
   if (with_obs) sampler.start(SimTime());

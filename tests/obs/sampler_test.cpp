@@ -145,7 +145,7 @@ TEST(SamplerTest, WatchHelpersTrackComponentState) {
   const auto b = net.add_node("b");
   sim::LinkConfig config;
   config.name = "ab";
-  config.rate_bps = 8e6;  // 1000-byte packet = 1 ms service
+  config.rate = Bandwidth::bps(8e6);  // 1000-byte packet = 1 ms service
   config.propagation = Duration::millis(1);
   config.buffer_packets = 64;
   sim::Link& link = net.add_link(a, b, config);
@@ -157,7 +157,7 @@ TEST(SamplerTest, WatchHelpersTrackComponentState) {
   EXPECT_EQ(sampler.series(q_idx).name(), "ab.queue_pkts");
 
   sim::CbrSource source(simulator, net, a, b, 1, sim::PacketKind::kBulk,
-                        Rng(9), Duration::millis(1), 1000);
+                        Rng(9), Duration::millis(1), ByteSize::bytes(1000));
   net.compute_routes();
   source.start(SimTime());
   sampler.start(SimTime());

@@ -48,7 +48,7 @@ ScenarioOverrides fabric_overrides(sim::FluidQueueModel queue_model) {
   background.duty = 1.0;  // constant mean demand: the M/D/1 assumption
   background.max_link_load = 0.5;
   background.queue_model = queue_model;
-  background.mean_packet_bytes = 512;
+  background.mean_packet = ByteSize::bytes(512);
   overrides.fluid_background = background;
   return overrides;
 }
@@ -66,11 +66,11 @@ TEST(FluidValidationTest, HybridMatchesKiaMeanAndJitterOnFatTree) {
 
   std::vector<model::KiaHop> hops;
   for (const ScenarioResult::ProbeHop& hop : result.probe_hops) {
-    hops.push_back({hop.capacity_bps, hop.fluid_bps, hop.propagation});
+    hops.push_back({hop.capacity, hop.fluid, hop.propagation});
   }
   const model::KiaDelay predicted = model::kia_path_delay(
-      hops, plan.probe_wire_bytes,
-      overrides.fluid_background->mean_packet_bytes);
+      hops, plan.probe_wire,
+      overrides.fluid_background->mean_packet);
   const TraceMoments measured = moments(result.trace);
 
   EXPECT_NEAR(measured.mean_ms, predicted.mean_seconds * 1e3,
@@ -133,8 +133,8 @@ TEST(FluidValidationTest, ResidualRateModeShiftsMeanWithoutJitter) {
   double unloaded_ms = 0.0;
   for (const ScenarioResult::ProbeHop& hop : result.probe_hops) {
     unloaded_ms += hop.propagation.millis() +
-                   1e3 * static_cast<double>(plan.probe_wire_bytes * 8) /
-                       hop.capacity_bps;
+                   1e3 * static_cast<double>(plan.probe_wire.count() * 8) /
+                       hop.capacity.bps();
   }
   EXPECT_GT(measured.mean_ms, unloaded_ms * 1.0001);
 }

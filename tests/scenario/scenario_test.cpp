@@ -119,7 +119,7 @@ TEST(InriaUmdTest, NoCrossTrafficMeansNoQueueingAndOnlyRandomLoss) {
 
 TEST(InriaUmdTest, FaultyDropOverrideZeroRemovesRandomLoss) {
   ScenarioOverrides overrides;
-  overrides.faulty_interface_drop = 0.0;
+  overrides.faulty_interface_drop = Probability::checked(0.0);
   const auto result = run_inria_umd(quick_plan(50), overrides);
   EXPECT_EQ(result.total_random_drops, 0u);
 }
@@ -141,7 +141,7 @@ TEST(InriaUmdTest, RedOverrideMovesDropsToRed) {
   sim::RedConfig red;
   red.min_threshold = 2.0;
   red.max_threshold = 10.0;
-  red.max_probability = 0.2;
+  red.max_probability = Probability::checked(0.2);
   red.weight = 0.05;
   overrides.bottleneck_red = red;
   const auto result = run_inria_umd(quick_plan(50), overrides);

@@ -137,18 +137,19 @@ FuzzOutcome run_topology(std::uint64_t seed, std::size_t domains = 0) {
     // equal (see sim/pdes.h).  Continuous rates make independent ties
     // measure-zero, which is also the honest model: real links do not
     // run at exact multiples of 128 kb/s.
-    cfg.rate_bps = 128e3 * rng.uniform(1.0, 17.0);
+    cfg.rate = Bandwidth::bps(128e3 * rng.uniform(1.0, 17.0));
     cfg.propagation = Duration::millis(1.0 + rng.uniform(0.0, 15.0));
     cfg.buffer_packets = 4 + rng.uniform_int(28);
     if (rng.chance(1.0 / 3.0)) {
-      cfg.random_drop_probability = 0.002 + 0.01 * rng.uniform();
+      cfg.random_drop_probability =
+          Probability::checked(0.002 + 0.01 * rng.uniform());
     }
     if (rng.chance(0.5)) {
       RedConfig red;
       red.min_threshold = 2.0 + rng.uniform(0.0, 4.0);
       red.max_threshold = red.min_threshold + 4.0 + rng.uniform(0.0, 8.0);
       red.weight = 0.002 + 0.02 * rng.uniform();
-      red.max_probability = 0.02 + 0.15 * rng.uniform();
+      red.max_probability = Probability::checked(0.02 + 0.15 * rng.uniform());
       cfg.red = red;
     }
     if (rng.chance(0.25)) {
@@ -156,14 +157,16 @@ FuzzOutcome run_topology(std::uint64_t seed, std::size_t domains = 0) {
       // 3-state chain with per-state extra delay and jitter.
       if (rng.chance(0.5)) {
         cfg.channel = MarkovChannelConfig::gilbert_elliott(
-            0.005 + 0.1 * rng.uniform(), 0.1 + 0.5 * rng.uniform(),
-            /*good_drop=*/0.0, /*bad_drop=*/0.3 + 0.7 * rng.uniform(),
+            Probability::checked(0.005 + 0.1 * rng.uniform()),
+            Probability::checked(0.1 + 0.5 * rng.uniform()),
+            /*good_drop=*/Probability::zero(),
+            /*bad_drop=*/Probability::checked(0.3 + 0.7 * rng.uniform()),
             Duration::millis(rng.uniform(0.0, 4.0)));
       } else {
         MarkovChannelConfig channel;
         for (int s = 0; s < 3; ++s) {
           ChannelState state;
-          state.drop_probability = rng.uniform(0.0, 0.6);
+          state.drop_probability = Probability::checked(rng.uniform(0.0, 0.6));
           state.extra_delay = Duration::millis(rng.uniform(0.0, 2.0));
           if (rng.chance(0.5)) {
             state.extra_delay_jitter = Duration::millis(rng.uniform(0.0, 2.0));
@@ -209,10 +212,10 @@ FuzzOutcome run_topology(std::uint64_t seed, std::size_t domains = 0) {
   access.propagation = Duration::millis(1);
   access.buffer_packets = 64;
   access.name = "acc-src";
-  access.rate_bps = 10e6 * rng.uniform(0.8, 1.2);  // continuous, as above
+  access.rate = Bandwidth::bps(10e6 * rng.uniform(0.8, 1.2));  // continuous, as above
   net.add_duplex_link(tcp_src, path.front(), access, sim_of(0), sim_of(0));
   access.name = "acc-dst";
-  access.rate_bps = 10e6 * rng.uniform(0.8, 1.2);
+  access.rate = Bandwidth::bps(10e6 * rng.uniform(0.8, 1.2));
   net.add_duplex_link(tcp_dst, path.back(), access, sim_of(hops), sim_of(hops));
 
   TcpSink tcp_sink(sim_of(hops), net, tcp_dst);
@@ -443,20 +446,21 @@ FuzzOutcome run_generated_fabric(std::uint64_t seed, std::size_t domains) {
     Link& link = net.link_at(uid);
     Simulator& link_sim = sim_of(domain_of_node[net.link_source(uid)]);
     FluidAggregateConfig config;
-    config.capacity_bps = link.config().rate_bps;
+    config.capacity = Bandwidth::bps(link.config().rate.bps());
     config.queue_model = uid % 2 == 0 ? FluidQueueModel::kResidualRate
                                       : FluidQueueModel::kMd1Wait;
     aggregates.push_back(std::make_unique<FluidAggregate>(
         link_sim, config, Rng(derive_stream_seed(seed ^ 0xF1u, uid))));
     link.attach_fluid(*aggregates.back());
     fluid_links.push_back(&link);
-    const double demand = 0.4 * link.config().rate_bps;
+    const double demand = 0.4 * link.config().rate.bps();
     if (uid % 6 == 0) {
-      aggregates.back()->add_base_rate(demand);
+      aggregates.back()->add_base_rate(Bandwidth::bps(demand));
     } else {
       envelopes.push_back(std::make_unique<FluidFlow>(
           link_sim,
-          FluidFlowConfig::envelope(demand, 3, 0.5, Duration::millis(120)),
+          FluidFlowConfig::envelope(Bandwidth::bps(demand), 3, 0.5,
+                                    Duration::millis(120)),
           Rng(derive_stream_seed(seed ^ 0xE2u, uid))));
       envelopes.back()->attach(*aggregates.back());
     }
@@ -473,7 +477,7 @@ FuzzOutcome run_generated_fabric(std::uint64_t seed, std::size_t domains) {
   Rng cross_rng(derive_stream_seed(seed, 0xC0));
   PoissonSource cross(sim_of(domain_of_node[probe_dst]), net, probe_dst,
                       probe_src, /*flow=*/31, PacketKind::kBulk,
-                      cross_rng.split(), Duration::millis(5), 512);
+                      cross_rng.split(), Duration::millis(5), ByteSize::bytes(512));
 
   if (psim) psim->attach(net, built.node_domain);
   for (auto& envelope : envelopes) envelope->start(Duration::zero());

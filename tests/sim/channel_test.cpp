@@ -28,7 +28,7 @@ Packet make_packet(std::int64_t bytes, std::uint64_t id = 0) {
 
 LinkConfig basic_config() {
   LinkConfig config;
-  config.rate_bps = 128e3;
+  config.rate = Bandwidth::bps(128e3);
   config.propagation = Duration::millis(10);
   config.buffer_packets = 4;
   return config;
@@ -38,42 +38,48 @@ TEST(MarkovChannelConfigTest, ValidateRejectsMalformedConfigs) {
   MarkovChannelConfig config;
   EXPECT_THROW(config.validate(), std::invalid_argument);  // no states
 
-  config = MarkovChannelConfig::gilbert_elliott(0.1, 0.4);
+  config = MarkovChannelConfig::gilbert_elliott(Probability::checked(0.1),
+                                                Probability::checked(0.4));
   config.transitions.pop_back();  // wrong matrix size
   EXPECT_THROW(config.validate(), std::invalid_argument);
 
-  config = MarkovChannelConfig::gilbert_elliott(0.1, 0.4);
+  config = MarkovChannelConfig::gilbert_elliott(Probability::checked(0.1),
+                                                Probability::checked(0.4));
   config.transitions = {0.5, 0.4, 0.4, 0.6};  // row 0 sums to 0.9
   EXPECT_THROW(config.validate(), std::invalid_argument);
 
-  config = MarkovChannelConfig::gilbert_elliott(0.1, 0.4);
+  config = MarkovChannelConfig::gilbert_elliott(Probability::checked(0.1),
+                                                Probability::checked(0.4));
   config.transitions[0] = -0.1;
   config.transitions[1] = 1.1;  // entries outside [0, 1]
   EXPECT_THROW(config.validate(), std::invalid_argument);
 
-  config = MarkovChannelConfig::gilbert_elliott(0.1, 0.4);
+  config = MarkovChannelConfig::gilbert_elliott(Probability::checked(0.1),
+                                                Probability::checked(0.4));
   config.initial_state = 2;
   EXPECT_THROW(config.validate(), std::invalid_argument);
 
-  config = MarkovChannelConfig::gilbert_elliott(0.1, 0.4);
-  config.states[1].drop_probability = 1.5;
-  EXPECT_THROW(config.validate(), std::invalid_argument);
+  // Out-of-range drop probabilities are unrepresentable now: the checked
+  // Probability constructor rejects them before a state can hold one.
+  EXPECT_THROW(Probability::checked(1.5), std::invalid_argument);
 
-  config = MarkovChannelConfig::gilbert_elliott(0.1, 0.4);
+  config = MarkovChannelConfig::gilbert_elliott(Probability::checked(0.1),
+                                                Probability::checked(0.4));
   config.states[0].extra_delay = Duration::millis(-1);
   EXPECT_THROW(config.validate(), std::invalid_argument);
 }
 
 TEST(MarkovChannelConfigTest, GilbertElliottLayout) {
   const auto config = MarkovChannelConfig::gilbert_elliott(
-      0.02, 0.3, 0.001, 0.9, Duration::millis(7));
+      Probability::checked(0.02), Probability::checked(0.3),
+      Probability::checked(0.001), Probability::checked(0.9), Duration::millis(7));
   ASSERT_EQ(config.state_count(), 2u);
   EXPECT_DOUBLE_EQ(config.transition(0, 1), 0.02);  // p = P(good -> bad)
   EXPECT_DOUBLE_EQ(config.transition(0, 0), 0.98);
   EXPECT_DOUBLE_EQ(config.transition(1, 0), 0.3);   // q = P(bad -> good)
   EXPECT_DOUBLE_EQ(config.transition(1, 1), 0.7);
-  EXPECT_DOUBLE_EQ(config.states[0].drop_probability, 0.001);
-  EXPECT_DOUBLE_EQ(config.states[1].drop_probability, 0.9);
+  EXPECT_DOUBLE_EQ(config.states[0].drop_probability.value(), 0.001);
+  EXPECT_DOUBLE_EQ(config.states[1].drop_probability.value(), 0.9);
   EXPECT_EQ(config.states[1].extra_delay, Duration::millis(7));
   EXPECT_EQ(config.initial_state, 0u);
 }
@@ -81,24 +87,24 @@ TEST(MarkovChannelConfigTest, GilbertElliottLayout) {
 TEST(MarkovChannelConfigTest, FromLossTargetsSolvesPAndQ) {
   // q = 1/plg, p = q*ulp/(1-ulp): ulp = 0.08, plg = 5 -> q = 0.2,
   // p = 0.2*0.08/0.92.
-  const auto config = MarkovChannelConfig::from_loss_targets(0.08, 5.0);
+  const auto config = MarkovChannelConfig::from_loss_targets(Probability::checked(0.08), 5.0);
   EXPECT_NEAR(config.transition(1, 0), 0.2, 1e-12);
   EXPECT_NEAR(config.transition(0, 1), 0.2 * 0.08 / 0.92, 1e-12);
-  EXPECT_DOUBLE_EQ(config.states[0].drop_probability, 0.0);
-  EXPECT_DOUBLE_EQ(config.states[1].drop_probability, 1.0);
+  EXPECT_DOUBLE_EQ(config.states[0].drop_probability.value(), 0.0);
+  EXPECT_DOUBLE_EQ(config.states[1].drop_probability.value(), 1.0);
   // Stationary loss p/(p+q) equals the target ulp.
   const double p = config.transition(0, 1);
   const double q = config.transition(1, 0);
   EXPECT_NEAR(p / (p + q), 0.08, 1e-12);
 
-  EXPECT_THROW(MarkovChannelConfig::from_loss_targets(0.0, 5.0),
+  EXPECT_THROW(MarkovChannelConfig::from_loss_targets(Probability::checked(0.0), 5.0),
                std::invalid_argument);
-  EXPECT_THROW(MarkovChannelConfig::from_loss_targets(1.0, 5.0),
+  EXPECT_THROW(MarkovChannelConfig::from_loss_targets(Probability::checked(1.0), 5.0),
                std::invalid_argument);
-  EXPECT_THROW(MarkovChannelConfig::from_loss_targets(0.08, 0.5),
+  EXPECT_THROW(MarkovChannelConfig::from_loss_targets(Probability::checked(0.08), 0.5),
                std::invalid_argument);
   // ulp = 0.9, plg = 1 -> p = 9: infeasible.
-  EXPECT_THROW(MarkovChannelConfig::from_loss_targets(0.9, 1.0),
+  EXPECT_THROW(MarkovChannelConfig::from_loss_targets(Probability::checked(0.9), 1.0),
                std::invalid_argument);
 }
 
@@ -109,7 +115,7 @@ TEST(MarkovChannelConfigTest, FromGilbertFitMapsAndRejectsDegenerate) {
   const auto config = MarkovChannelConfig::from_gilbert_fit(fit);
   EXPECT_DOUBLE_EQ(config.transition(0, 1), 0.02);
   EXPECT_DOUBLE_EQ(config.transition(1, 0), 0.3);
-  EXPECT_DOUBLE_EQ(config.states[1].drop_probability, 1.0);
+  EXPECT_DOUBLE_EQ(config.states[1].drop_probability.value(), 1.0);
 
   // An all-lost measured sequence fits degenerate (the chain never left
   // the bad state); such a fit cannot parameterize a channel.
@@ -121,7 +127,7 @@ TEST(MarkovChannelConfigTest, FromGilbertFitMapsAndRejectsDegenerate) {
 }
 
 TEST(MarkovChannelTest, AdvanceAccountingAndAudit) {
-  MarkovChannel channel(MarkovChannelConfig::from_loss_targets(0.08, 5.0),
+  MarkovChannel channel(MarkovChannelConfig::from_loss_targets(Probability::checked(0.08), 5.0),
                         Rng(7));
   const int n = 20000;
   std::uint64_t drops = 0;
@@ -141,7 +147,8 @@ TEST(MarkovChannelTest, AdvanceAccountingAndAudit) {
 
 TEST(MarkovChannelTest, SingleStateChannelIsBernoulli) {
   MarkovChannelConfig config;
-  config.states = {ChannelState{0.3, Duration::zero(), Duration::zero()}};
+  config.states = {ChannelState{Probability::checked(0.3), Duration::zero(),
+                                Duration::zero()}};
   config.transitions = {1.0};
   MarkovChannel channel(config, Rng(11));
   const int n = 100000;
@@ -162,7 +169,7 @@ std::vector<std::uint8_t> channel_link_losses(const MarkovChannelConfig& channel
                                               LinkStats* stats_out = nullptr) {
   Simulator simulator;
   LinkConfig config;
-  config.rate_bps = 100e6;  // service 5.76 us for 72 B
+  config.rate = Bandwidth::bps(100e6);  // service 5.76 us for 72 B
   config.propagation = Duration::millis(1);
   config.buffer_packets = 64;
   config.channel = channel;
@@ -231,7 +238,7 @@ TEST(ChannelLinkTest, TargetPlgFiveMeasuredWithinTenPercent) {
   // probes through the simulated link.
   const std::uint64_t n = 1000000;
   const auto losses = channel_link_losses(
-      MarkovChannelConfig::from_loss_targets(0.08, 5.0), n, 1993);
+      MarkovChannelConfig::from_loss_targets(Probability::checked(0.08), 5.0), n, 1993);
   const auto stats = analysis::loss_stats(losses);
   EXPECT_EQ(stats.probes, n);
   EXPECT_NEAR(stats.ulp, 0.08, 0.008);
@@ -248,7 +255,8 @@ TEST(ChannelLinkTest, BadStateExtraDelayAddsToPropagation) {
   Simulator simulator;
   LinkConfig config = basic_config();
   config.channel = MarkovChannelConfig::gilbert_elliott(
-      1.0, 0.0, 0.0, 0.0, Duration::millis(5));
+      Probability::checked(1.0), Probability::checked(0.0),
+      Probability::checked(0.0), Probability::checked(0.0), Duration::millis(5));
   Link link(simulator, config, Rng(1));
   std::vector<Duration> arrivals;
   link.set_sink([&](Packet&&) { arrivals.push_back(simulator.now()); });
@@ -266,7 +274,9 @@ TEST(ChannelLinkTest, JitterPreservesFifoOrder) {
   LinkConfig config = basic_config();
   config.buffer_packets = 64;
   MarkovChannelConfig channel =
-      MarkovChannelConfig::gilbert_elliott(0.5, 0.5, 0.0, 0.0);
+      MarkovChannelConfig::gilbert_elliott(
+      Probability::checked(0.5), Probability::checked(0.5),
+      Probability::checked(0.0), Probability::checked(0.0));
   channel.states[1].extra_delay_jitter = Duration::millis(30);
   config.channel = channel;
   Link link(simulator, config, Rng(3));
@@ -460,11 +470,11 @@ TEST(TraceDrivenLinkTest, PausedLinkWastesOpportunities) {
 std::vector<Duration> trace_driven_replay(std::uint64_t seed) {
   Simulator simulator;
   LinkConfig config;
-  config.rate_bps = 128e3;
+  config.rate = Bandwidth::bps(128e3);
   config.propagation = Duration::millis(10);
   config.buffer_packets = 8;
   config.schedule = every_millisecond(600);
-  config.channel = MarkovChannelConfig::from_loss_targets(0.1, 3.0);
+  config.channel = MarkovChannelConfig::from_loss_targets(Probability::checked(0.1), 3.0);
   Link link(simulator, config, Rng(seed));
   std::vector<Duration> arrivals;
   link.set_sink([&](Packet&&) { arrivals.push_back(simulator.now()); });
@@ -522,7 +532,7 @@ TEST(TraceDrivenLinkTest, SweepArtifactsIdenticalAcrossThreadCounts) {
     plan.seed = ctx.seed;
     scenario::ScenarioOverrides overrides;
     overrides.bottleneck_channel =
-        MarkovChannelConfig::from_loss_targets(0.05, ctx.param("target_plg"));
+        MarkovChannelConfig::from_loss_targets(Probability::checked(0.05), ctx.param("target_plg"));
     overrides.bottleneck_schedule = schedule;
     return runner::scenario_metrics(scenario::run_inria_umd(plan, overrides));
   };

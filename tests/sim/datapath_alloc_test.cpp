@@ -54,7 +54,7 @@ TEST(DatapathAllocTest, ForwardedPacketsCostZeroAllocationsAtSteadyState) {
   const NodeId n2 = net.add_node("n2");
   const NodeId n3 = net.add_node("n3");
   LinkConfig config;
-  config.rate_bps = 1.024e9;  // 512 B = 4 us service
+  config.rate = Bandwidth::bps(1.024e9);  // 512 B = 4 us service
   config.propagation = Duration::millis(1);
   config.buffer_packets = 64;
   net.add_link(n0, n1, config);
@@ -77,7 +77,7 @@ TEST(DatapathAllocTest, ForwardedPacketsCostZeroAllocationsAtSteadyState) {
 
   // Exactly line rate: every link stays busy, nothing drops.
   CbrSource source(simulator, net, n0, n3, /*flow=*/1, PacketKind::kBulk,
-                   Rng(7), Duration::micros(4), /*packet_bytes=*/512);
+                   Rng(7), Duration::micros(4), /*packet=*/ByteSize::bytes(512));
   source.start(Duration::zero());
 
   // Warm-up: rings, slab, and the log ring reach their high-water marks

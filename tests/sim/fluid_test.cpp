@@ -14,29 +14,29 @@ namespace {
 
 FluidAggregateConfig aggregate_config(double capacity_bps = 1e6) {
   FluidAggregateConfig config;
-  config.capacity_bps = capacity_bps;
+  config.capacity = Bandwidth::bps(capacity_bps);
   return config;
 }
 
 TEST(FluidAggregateTest, ResidualRateSubtractsDemandWithFloor) {
   Simulator simulator;
   FluidAggregate fluid(simulator, aggregate_config(1e6), Rng(1));
-  EXPECT_DOUBLE_EQ(fluid.residual_bps(), 1e6);
-  fluid.add_base_rate(400e3);
-  EXPECT_DOUBLE_EQ(fluid.fluid_rate_bps(), 400e3);
-  EXPECT_DOUBLE_EQ(fluid.residual_bps(), 600e3);
+  EXPECT_DOUBLE_EQ(fluid.residual().bps(), 1e6);
+  fluid.add_base_rate(Bandwidth::bps(400e3));
+  EXPECT_DOUBLE_EQ(fluid.fluid_rate().bps(), 400e3);
+  EXPECT_DOUBLE_EQ(fluid.residual().bps(), 600e3);
   // Oversubscription floors at min_residual_fraction * capacity instead
   // of stalling the transmitter.
-  fluid.add_base_rate(2e6);
-  EXPECT_DOUBLE_EQ(fluid.residual_bps(), 0.01 * 1e6);
+  fluid.add_base_rate(Bandwidth::bps(2e6));
+  EXPECT_DOUBLE_EQ(fluid.residual().bps(), 0.01 * 1e6);
 }
 
 TEST(FluidAggregateTest, ResidualServiceTimeStretchesByLoad) {
   Simulator simulator;
   FluidAggregate fluid(simulator, aggregate_config(1e6), Rng(1));
-  const Duration empty = fluid.service_time(500);
-  fluid.add_base_rate(500e3);  // residual = half capacity
-  EXPECT_EQ(fluid.service_time(500), empty * 2.0);
+  const Duration empty = fluid.service_time(ByteSize::bytes(500));
+  fluid.add_base_rate(Bandwidth::bps(500e3));  // residual = half capacity
+  EXPECT_EQ(fluid.service_time(ByteSize::bytes(500)), empty * 2.0);
   // Residual mode is deterministic: the extra wait is zero and the rng
   // stream sits untouched.
   EXPECT_TRUE(fluid.sample_extra_wait().is_zero());
@@ -46,10 +46,10 @@ TEST(FluidAggregateTest, ResidualServiceTimeStretchesByLoad) {
 TEST(FluidAggregateTest, UtilizationIntegratesPiecewiseDemand) {
   Simulator simulator;
   FluidAggregate fluid(simulator, aggregate_config(1e6), Rng(1));
-  fluid.add_base_rate(500e3);
+  fluid.add_base_rate(Bandwidth::bps(500e3));
   // Demand doubles at t = 1 s (capped at capacity for the integral).
   simulator.schedule_at(Duration::seconds(1),
-                        [&fluid] { fluid.adjust_rate(1.5e6); });
+                        [&fluid] { fluid.adjust_rate(Bandwidth::bps(1.5e6)); });
   simulator.run_until(Duration::seconds(2));
   // [0,1): 0.5 busy share; [1,2): capped at 1.0 -> average 0.75.
   EXPECT_NEAR(fluid.utilization(simulator.now()), 0.75, 1e-9);
@@ -61,15 +61,15 @@ TEST(FluidAggregateTest, Md1WaitMatchesPollaczekKhinchineMoments) {
   Simulator simulator;
   FluidAggregateConfig config = aggregate_config(1e6);
   config.queue_model = FluidQueueModel::kMd1Wait;
-  config.mean_packet_bytes = 512;
+  config.mean_packet = ByteSize::bytes(512);
   FluidAggregate fluid(simulator, config, Rng(99));
   const double rho = 0.6;
-  fluid.add_base_rate(rho * config.capacity_bps);
+  fluid.add_base_rate(Bandwidth::bps(rho * config.capacity.bps()));
   // kMd1Wait serves at full capacity; the queueing shows up as waits.
-  EXPECT_EQ(fluid.service_time(500),
-            transmission_time(500 * 8, config.capacity_bps));
+  EXPECT_EQ(fluid.service_time(ByteSize::bytes(500)),
+            transmission_time(500 * 8, config.capacity.bps()));
 
-  const double service = 512.0 * 8.0 / config.capacity_bps;
+  const double service = 512.0 * 8.0 / config.capacity.bps();
   const double mean_wait = rho * service / (2.0 * (1.0 - rho));
   const double second =
       2.0 * mean_wait * mean_wait + rho * service * service / (3.0 * (1.0 - rho));
@@ -89,7 +89,7 @@ TEST(FluidFlowTest, OnOffEdgesToggleAggregateDemand) {
   Simulator simulator;
   FluidAggregate fluid(simulator, aggregate_config(1e6), Rng(1));
   FluidFlowConfig config;
-  config.peak_rate_bps = 300e3;
+  config.peak_rate = Bandwidth::bps(300e3);
   config.period = Duration::seconds(1);
   config.duty = 0.25;
   config.phase = Duration::millis(100);
@@ -98,13 +98,13 @@ TEST(FluidFlowTest, OnOffEdgesToggleAggregateDemand) {
   flow.start(Duration::zero());
 
   simulator.run_until(Duration::millis(50));  // before the first ON edge
-  EXPECT_DOUBLE_EQ(fluid.fluid_rate_bps(), 0.0);
+  EXPECT_DOUBLE_EQ(fluid.fluid_rate().bps(), 0.0);
   simulator.run_until(Duration::millis(200));  // ON: [0.1 s, 0.35 s)
-  EXPECT_DOUBLE_EQ(fluid.fluid_rate_bps(), 300e3);
+  EXPECT_DOUBLE_EQ(fluid.fluid_rate().bps(), 300e3);
   simulator.run_until(Duration::millis(500));  // OFF again
-  EXPECT_DOUBLE_EQ(fluid.fluid_rate_bps(), 0.0);
+  EXPECT_DOUBLE_EQ(fluid.fluid_rate().bps(), 0.0);
   simulator.run_until(Duration::millis(1200));  // next cycle's ON span
-  EXPECT_DOUBLE_EQ(fluid.fluid_rate_bps(), 300e3);
+  EXPECT_DOUBLE_EQ(fluid.fluid_rate().bps(), 300e3);
   EXPECT_EQ(flow.edges(), 3u);
   flow.audit_verify();
 }
@@ -113,12 +113,12 @@ TEST(FluidFlowTest, ConstantFlowCostsNoEvents) {
   Simulator simulator;
   FluidAggregate fluid(simulator, aggregate_config(1e6), Rng(1));
   FluidFlowConfig config;
-  config.peak_rate_bps = 250e3;  // period zero = constant from start
+  config.peak_rate = Bandwidth::bps(250e3);  // period zero = constant from start
   FluidFlow flow(simulator, config, Rng(2));
   flow.attach(fluid);
   flow.start(Duration::zero());
   simulator.run_until(Duration::seconds(5));
-  EXPECT_DOUBLE_EQ(fluid.fluid_rate_bps(), 250e3);
+  EXPECT_DOUBLE_EQ(fluid.fluid_rate().bps(), 250e3);
   EXPECT_LE(simulator.events_dispatched(), 1u);  // the single start edge
 }
 
@@ -127,7 +127,7 @@ TEST(FluidFlowTest, ModulatedTrajectoryIsPureFunctionOfSeed) {
   // in another domain emits the identical trajectory, so fluid demand
   // crosses cuts without messages.
   FluidFlowConfig config = FluidFlowConfig::envelope(
-      /*peak_rate_bps=*/1e6, /*states=*/4, /*swing=*/0.5,
+      /*peak_rate=*/Bandwidth::mbps(1), /*states=*/4, /*swing=*/0.5,
       /*mean_holding=*/Duration::millis(50));
   std::vector<double> rates_a, rates_b;
   std::vector<std::uint64_t> edges_a, edges_b;
@@ -141,7 +141,7 @@ TEST(FluidFlowTest, ModulatedTrajectoryIsPureFunctionOfSeed) {
     auto& edges = replica == 0 ? edges_a : edges_b;
     for (int step = 1; step <= 20; ++step) {
       simulator.run_until(Duration::millis(25 * step));
-      rates.push_back(flow.rate_bps());
+      rates.push_back(flow.rate().bps());
       edges.push_back(flow.edges());
     }
   }
@@ -152,7 +152,7 @@ TEST(FluidFlowTest, ModulatedTrajectoryIsPureFunctionOfSeed) {
 
 TEST(FluidFlowTest, EnvelopeConfigHasStationaryMeanAtPeak) {
   const FluidFlowConfig config =
-      FluidFlowConfig::envelope(1e6, 5, 0.4, Duration::seconds(1));
+      FluidFlowConfig::envelope(Bandwidth::mbps(1), 5, 0.4, Duration::seconds(1));
   ASSERT_EQ(config.state_count(), 5u);
   double mean_fraction = 0.0;
   for (const double f : config.state_rate_fraction) mean_fraction += f;
@@ -185,14 +185,14 @@ TEST(FlowTableTest, InternsRoutesAndGrowsDensely) {
 
   for (std::uint64_t f = 0; f < 100000; ++f) {
     const auto id = table.add_flow(f * 2 + 1, f % 2 ? a : b,
-                                   /*peak_rate_bps=*/1000.0f, /*duty=*/0.5f,
+                                   /*peak_rate=*/Bandwidth::bps(1000.0), /*duty=*/0.5f,
                                    Duration::seconds(1));
     EXPECT_EQ(id, f);
   }
   EXPECT_EQ(table.size(), 100000u);
   EXPECT_EQ(table.external_id(42), 85u);
   EXPECT_EQ(table.find(85), 42u);
-  EXPECT_DOUBLE_EQ(table.mean_rate_bps(0), 500.0);
+  EXPECT_DOUBLE_EQ(table.mean_rate(0).bps(), 500.0);
   table.audit_verify();
 }
 
@@ -207,16 +207,16 @@ TEST(FlowTableTest, RateAtFollowsTheOnOffStructure) {
   FlowTable table;
   const auto route = table.intern_route({1});
   const auto f =
-      table.add_flow(7, route, 1000.0f, 0.25f, Duration::seconds(1),
+      table.add_flow(7, route, Bandwidth::bps(1000.0), 0.25f, Duration::seconds(1),
                      /*phase=*/Duration::millis(100));
   // ON during [0.1, 0.35) of each cycle.
-  EXPECT_DOUBLE_EQ(table.rate_at(f, Duration::millis(50)), 0.0);
-  EXPECT_DOUBLE_EQ(table.rate_at(f, Duration::millis(200)), 1000.0);
-  EXPECT_DOUBLE_EQ(table.rate_at(f, Duration::millis(500)), 0.0);
-  EXPECT_DOUBLE_EQ(table.rate_at(f, Duration::millis(1200)), 1000.0);
+  EXPECT_DOUBLE_EQ(table.rate_at(f, Duration::millis(50)).bps(), 0.0);
+  EXPECT_DOUBLE_EQ(table.rate_at(f, Duration::millis(200)).bps(), 1000.0);
+  EXPECT_DOUBLE_EQ(table.rate_at(f, Duration::millis(500)).bps(), 0.0);
+  EXPECT_DOUBLE_EQ(table.rate_at(f, Duration::millis(1200)).bps(), 1000.0);
   // Zero period = constant at the mean.
-  const auto constant = table.add_flow(8, route, 1000.0f, 0.25f);
-  EXPECT_DOUBLE_EQ(table.rate_at(constant, Duration::zero()), 250.0);
+  const auto constant = table.add_flow(8, route, Bandwidth::bps(1000.0), 0.25f);
+  EXPECT_DOUBLE_EQ(table.rate_at(constant, Duration::zero()).bps(), 250.0);
 }
 
 TEST(FlowTableTest, RegisterMeanRatesFoldsDemandIntoAggregates) {
@@ -226,28 +226,28 @@ TEST(FlowTableTest, RegisterMeanRatesFoldsDemandIntoAggregates) {
   FlowTable table;
   const auto shared = table.intern_route({0, 1, 2});
   const auto lonely = table.intern_route({2});
-  table.add_flow(1, shared, 100e3f, 0.5f);
-  table.add_flow(2, shared, 100e3f, 0.5f);
-  table.add_flow(3, lonely, 40e3f, 1.0f);
+  table.add_flow(1, shared, Bandwidth::bps(100e3), 0.5f);
+  table.add_flow(2, shared, Bandwidth::bps(100e3), 0.5f);
+  table.add_flow(3, lonely, Bandwidth::bps(40e3), 1.0f);
   // Link 1 is packetized (nullptr slot): demand there is simply not fluid.
   std::vector<FluidAggregate*> by_link{&agg0, nullptr, &agg2};
   table.register_mean_rates(by_link);
-  EXPECT_DOUBLE_EQ(agg0.fluid_rate_bps(), 100e3);
-  EXPECT_DOUBLE_EQ(agg2.fluid_rate_bps(), 140e3);
-  EXPECT_DOUBLE_EQ(table.link_demand_bps(0), 100e3);
-  EXPECT_DOUBLE_EQ(table.link_demand_bps(1), 100e3);
-  EXPECT_DOUBLE_EQ(table.link_demand_bps(2), 140e3);
+  EXPECT_DOUBLE_EQ(agg0.fluid_rate().bps(), 100e3);
+  EXPECT_DOUBLE_EQ(agg2.fluid_rate().bps(), 140e3);
+  EXPECT_DOUBLE_EQ(table.link_demand(0).bps(), 100e3);
+  EXPECT_DOUBLE_EQ(table.link_demand(1).bps(), 100e3);
+  EXPECT_DOUBLE_EQ(table.link_demand(2).bps(), 140e3);
 }
 
 TEST(FluidLinkTest, PacketsServeAtResidualRate) {
   Simulator simulator;
   LinkConfig config;
-  config.rate_bps = 1e6;
+  config.rate = Bandwidth::bps(1e6);
   config.propagation = Duration::millis(10);
   config.buffer_packets = 8;
   Link link(simulator, config, Rng(1));
   FluidAggregate fluid(simulator, aggregate_config(1e6), Rng(2));
-  fluid.add_base_rate(500e3);
+  fluid.add_base_rate(Bandwidth::bps(500e3));
   link.attach_fluid(fluid);
 
   std::vector<Duration> arrivals;
@@ -264,7 +264,7 @@ TEST(FluidLinkTest, PacketsServeAtResidualRate) {
 TEST(FluidLinkTest, AttachRejectsMismatchedCapacity) {
   Simulator simulator;
   LinkConfig config;
-  config.rate_bps = 1e6;
+  config.rate = Bandwidth::bps(1e6);
   Link link(simulator, config, Rng(1));
   FluidAggregate wrong(simulator, aggregate_config(2e6), Rng(2));
   EXPECT_THROW(link.attach_fluid(wrong), std::invalid_argument);
@@ -280,12 +280,12 @@ TEST(FluidLinkTest, UtilizationGaugeReportsResidualCapacityView) {
   Simulator simulator;
   LinkConfig config;
   config.name = "fluid-link";
-  config.rate_bps = 1e6;
+  config.rate = Bandwidth::bps(1e6);
   config.propagation = Duration::millis(1);
   config.buffer_packets = 8;
   Link link(simulator, config, Rng(1));
   FluidAggregate fluid(simulator, aggregate_config(1e6), Rng(2));
-  fluid.add_base_rate(600e3);
+  fluid.add_base_rate(Bandwidth::bps(600e3));
   link.attach_fluid(fluid);
   link.set_sink([](Packet&&) {});
 
@@ -317,7 +317,7 @@ TEST(FluidLinkTest, FluidFreeLinkPublishesNoFluidGauges) {
   // layout (names and order) is exactly the pre-fluid one.
   Simulator simulator;
   LinkConfig config;
-  config.rate_bps = 1e6;
+  config.rate = Bandwidth::bps(1e6);
   Link link(simulator, config, Rng(1));
   obs::MetricsRegistry registry;
   link.publish_metrics(registry, "lnk");
@@ -327,6 +327,39 @@ TEST(FluidLinkTest, FluidFreeLinkPublishesNoFluidGauges) {
   EXPECT_EQ(snap.value("lnk.fluid_utilization"), nullptr);
   ASSERT_FALSE(snap.entries.empty());
   EXPECT_EQ(snap.entries.back().name, "lnk.utilization");
+}
+
+TEST(FluidLinkTest, UtilizationGaugesReadZeroBeforeTimeAdvances) {
+  // Satellite regression: a snapshot taken at t == 0 (monitoring starts
+  // before the first event) divides busy time by zero elapsed time
+  // without the guards in LinkStats::utilization and
+  // FluidAggregate::utilization.  Both gauges must read an idle 0.0,
+  // never NaN — a NaN here poisons every downstream aggregate and, until
+  // the non-finite-export fix, broke the JSON artifacts too.
+  Simulator simulator;
+  LinkConfig config;
+  config.name = "fluid-link";
+  config.rate = Bandwidth::bps(1e6);
+  config.propagation = Duration::millis(1);
+  config.buffer_packets = 8;
+  Link link(simulator, config, Rng(1));
+  FluidAggregate fluid(simulator, aggregate_config(1e6), Rng(2));
+  fluid.add_base_rate(Bandwidth::bps(600e3));
+  link.attach_fluid(fluid);
+  link.set_sink([](Packet&&) {});
+
+  obs::MetricsRegistry registry;
+  link.publish_metrics(registry, "lnk");
+
+  const obs::MetricsSnapshot snap = registry.snapshot(simulator.now());
+  const double* utilization = snap.value("lnk.utilization");
+  ASSERT_NE(utilization, nullptr);
+  EXPECT_FALSE(std::isnan(*utilization));
+  EXPECT_EQ(*utilization, 0.0);
+  const double* fluid_util = snap.value("lnk.fluid_utilization");
+  ASSERT_NE(fluid_util, nullptr);
+  EXPECT_FALSE(std::isnan(*fluid_util));
+  EXPECT_EQ(*fluid_util, 0.0);
 }
 
 }  // namespace

@@ -16,7 +16,7 @@ Packet make_packet(std::int64_t bytes, std::uint64_t id = 0) {
 
 LinkConfig basic_config() {
   LinkConfig config;
-  config.rate_bps = 128e3;  // the paper's transatlantic link
+  config.rate = Bandwidth::bps(128e3);  // the paper's transatlantic link
   config.propagation = Duration::millis(10);
   config.buffer_packets = 4;
   return config;
@@ -37,8 +37,8 @@ TEST(LinkTest, DeliversAfterServicePlusPropagation) {
 TEST(LinkTest, ServiceTimeMatchesPaperNumbers) {
   Simulator simulator;
   Link link(simulator, basic_config(), Rng(1));
-  EXPECT_DOUBLE_EQ(link.service_time(72).millis(), 4.5);
-  EXPECT_DOUBLE_EQ(link.service_time(512).millis(), 32.0);
+  EXPECT_DOUBLE_EQ(link.service_time(ByteSize::bytes(72)).millis(), 4.5);
+  EXPECT_DOUBLE_EQ(link.service_time(ByteSize::bytes(512)).millis(), 32.0);
 }
 
 TEST(LinkTest, FifoOrderPreserved) {
@@ -122,9 +122,10 @@ TEST(LinkTest, SpaceFreesAsPacketsDepart) {
 TEST(LinkTest, RandomDropStageLossRate) {
   Simulator simulator;
   LinkConfig config = basic_config();
-  config.rate_bps = 100e6;  // fast, so the run completes quickly
+  config.rate = Bandwidth::bps(100e6);  // fast, so the run completes quickly
   config.buffer_packets = 100000;
-  config.random_drop_probability = 0.03;  // the faulty-interface rate
+  config.random_drop_probability =
+      Probability::checked(0.03);  // the faulty-interface rate
   Link link(simulator, config, Rng(99));
   std::uint64_t delivered = 0;
   link.set_sink([&](Packet&&) { ++delivered; });
@@ -286,16 +287,28 @@ TEST(LinkTest, BacklogBytesTracksQueue) {
 TEST(LinkTest, RejectsBadConfig) {
   Simulator simulator;
   LinkConfig config = basic_config();
-  config.rate_bps = 0.0;
+  config.rate = Bandwidth::bps(0.0);
   EXPECT_THROW(Link(simulator, config, Rng(1)), std::invalid_argument);
   config = basic_config();
   config.buffer_packets = 0;
   EXPECT_THROW(Link(simulator, config, Rng(1)), std::invalid_argument);
   config = basic_config();
-  config.random_drop_probability = 1.0;
+  config.random_drop_probability = Probability::one();
   EXPECT_THROW(Link(simulator, config, Rng(1)), std::invalid_argument);
-  config.random_drop_probability = -0.1;
-  EXPECT_THROW(Link(simulator, config, Rng(1)), std::invalid_argument);
+  // Out-of-range values can no longer reach LinkConfig at all: the checked
+  // Probability constructor rejects them at the source.
+  EXPECT_THROW(Probability::checked(-0.1), std::invalid_argument);
+}
+
+TEST(LinkStatsTest, UtilizationGuardsZeroElapsedTime) {
+  // Regression pin for the elapsed == 0 guard: busy / elapsed is 0 / 0
+  // before any sim time passes, and the stats must report idle (0.0)
+  // rather than NaN.
+  LinkStats stats;
+  EXPECT_EQ(stats.utilization(Duration::zero()), 0.0);
+  // Once time elapses the ratio is live again.
+  stats.busy = Duration::millis(250);
+  EXPECT_DOUBLE_EQ(stats.utilization(Duration::seconds(1)), 0.25);
 }
 
 }  // namespace

@@ -11,7 +11,7 @@ namespace {
 TEST(QueueMonitorTest, SamplesAtConfiguredInterval) {
   Simulator simulator;
   LinkConfig config;
-  config.rate_bps = 128e3;
+  config.rate = Bandwidth::bps(128e3);
   config.propagation = Duration::millis(1);
   config.buffer_packets = 64;
   Link link(simulator, config, Rng(1));
@@ -28,7 +28,7 @@ TEST(QueueMonitorTest, SamplesAtConfiguredInterval) {
 TEST(QueueMonitorTest, TracksOccupancy) {
   Simulator simulator;
   LinkConfig config;
-  config.rate_bps = 128e3;  // 512 B = 32 ms service
+  config.rate = Bandwidth::bps(128e3);  // 512 B = 32 ms service
   config.propagation = Duration::millis(1);
   config.buffer_packets = 64;
   Link link(simulator, config, Rng(1));
@@ -55,7 +55,7 @@ TEST(QueueMonitorTest, TracksOccupancy) {
 TEST(QueueMonitorTest, StopHaltsSampling) {
   Simulator simulator;
   LinkConfig config;
-  config.rate_bps = 1e6;
+  config.rate = Bandwidth::bps(1e6);
   config.buffer_packets = 4;
   Link link(simulator, config, Rng(1));
   QueueMonitor monitor(simulator, link, Duration::millis(5));
@@ -70,7 +70,7 @@ TEST(QueueMonitorTest, StopHaltsSampling) {
 TEST(QueueMonitorTest, RejectsNonPositiveInterval) {
   Simulator simulator;
   LinkConfig config;
-  config.rate_bps = 1e6;
+  config.rate = Bandwidth::bps(1e6);
   config.buffer_packets = 4;
   Link link(simulator, config, Rng(1));
   EXPECT_THROW(QueueMonitor(simulator, link, Duration::zero()),
@@ -80,7 +80,7 @@ TEST(QueueMonitorTest, RejectsNonPositiveInterval) {
 TEST(DropMonitorTest, CountsByFlowAndCause) {
   Simulator simulator;
   LinkConfig config;
-  config.rate_bps = 1000.0;  // slow: easy to overflow
+  config.rate = Bandwidth::bps(1000.0);  // slow: easy to overflow
   config.buffer_packets = 1;
   Link link(simulator, config, Rng(1));
   link.set_sink([](Packet&&) {});
@@ -107,7 +107,7 @@ TEST(DropMonitorTest, CountsByFlowAndCause) {
 TEST(DropMonitorTest, AggregatesAcrossLinks) {
   Simulator simulator;
   LinkConfig config;
-  config.rate_bps = 1000.0;
+  config.rate = Bandwidth::bps(1000.0);
   config.buffer_packets = 1;
   Link a(simulator, config, Rng(1));
   Link b(simulator, config, Rng(2));

@@ -8,7 +8,7 @@ namespace {
 LinkConfig fast_link(const char* name = "link") {
   LinkConfig config;
   config.name = name;
-  config.rate_bps = 10e6;
+  config.rate = Bandwidth::bps(10e6);
   config.propagation = Duration::millis(1);
   config.buffer_packets = 64;
   return config;
@@ -143,7 +143,7 @@ TEST(NetworkTest, DropAccountingAcrossLinks) {
   const NodeId a = net.add_node("a");
   const NodeId b = net.add_node("b");
   LinkConfig tiny = fast_link();
-  tiny.rate_bps = 1000.0;  // slow: everything queues
+  tiny.rate = Bandwidth::bps(1000.0);  // slow: everything queues
   tiny.buffer_packets = 1;
   net.add_duplex_link(a, b, tiny);
   for (int i = 0; i < 5; ++i) net.send(make_packet(a, b));

@@ -16,7 +16,7 @@ struct LogFixture : public ::testing::Test {
     b = net.add_node("b");
     LinkConfig config;
     config.name = "a->b";
-    config.rate_bps = 128e3;
+    config.rate = Bandwidth::bps(128e3);
     config.propagation = Duration::millis(5);
     config.buffer_packets = 2;
     net.add_duplex_link(a, b, config);

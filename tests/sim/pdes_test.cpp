@@ -94,7 +94,7 @@ TEST(PdesTest, AttachRejectsZeroLookaheadCut) {
   const NodeId b = net.add_node("b");
   LinkConfig config;
   config.name = "a->b";
-  config.rate_bps = 1e6;
+  config.rate = Bandwidth::bps(1e6);
   config.propagation = Duration::zero();  // no lookahead across the cut
   net.add_link(a, b, config, psim.simulator(0));
   EXPECT_THROW(psim.attach(net, {0, 1}), std::invalid_argument);
@@ -123,7 +123,7 @@ TEST(PdesTest, EqualTimestampHandoffsDeliverInSendOrder) {
   schedule->bytes_per_opportunity = 3000;  // both 1000-byte packets at once
   LinkConfig config;
   config.name = "a->b";
-  config.rate_bps = 1e6;  // ignored (trace-driven)
+  config.rate = Bandwidth::bps(1e6);  // ignored (trace-driven)
   config.propagation = Duration::millis(2);
   config.buffer_packets = 8;
   config.schedule = schedule;
@@ -193,7 +193,7 @@ ChainTrace run_chain_case(std::size_t domains, Duration slice = {}) {
   for (std::size_t h = 0; h < 3; ++h) {
     LinkConfig config;
     config.name = "n" + std::to_string(h) + "<->n" + std::to_string(h + 1);
-    config.rate_bps = 1e6;
+    config.rate = Bandwidth::bps(1e6);
     config.propagation = props[h];
     config.buffer_packets = 6;  // small: overflow drops are part of the run
     net.add_duplex_link(nodes[h], nodes[h + 1], config, sim_of(h),
@@ -203,10 +203,10 @@ ChainTrace run_chain_case(std::size_t domains, Duration slice = {}) {
   Rng rng(0xFEEDull);
   PoissonSource fwd_src(sim_of(0), net, nodes[0], nodes[3], 1,
                         PacketKind::kBulk, rng.split(),
-                        Duration::micros(3517.9), 400);
+                        Duration::micros(3517.9), ByteSize::bytes(400));
   PoissonSource rev_src(sim_of(3), net, nodes[3], nodes[0], 2,
                         PacketKind::kInteractive, rng.split(),
-                        Duration::micros(5233.7), 200);
+                        Duration::micros(5233.7), ByteSize::bytes(200));
 
   ChainTrace trace;
   net.link(nodes[2], nodes[3])

@@ -15,13 +15,13 @@ Packet make_packet(std::int64_t bytes = 512) {
 
 LinkConfig red_config() {
   LinkConfig config;
-  config.rate_bps = 128e3;
+  config.rate = Bandwidth::bps(128e3);
   config.propagation = Duration::millis(1);
   config.buffer_packets = 30;
   RedConfig red;
   red.min_threshold = 4.0;
   red.max_threshold = 12.0;
-  red.max_probability = 0.2;
+  red.max_probability = Probability::checked(0.2);
   red.weight = 0.2;  // fast EWMA so short tests reach steady state
   config.red = red;
   return config;
@@ -166,7 +166,7 @@ TEST(RedTest, IdleDecayIsCumulativeAcrossProbes) {
   simulator.schedule_in(Duration::seconds(2),
                         [&] { link.enqueue(make_packet()); });
   simulator.run_to_completion();
-  const Duration slot = link.service_time(config.red->mean_packet_bytes);
+  const Duration slot = link.service_time(config.red->mean_packet);
   const double slots_per_gap = Duration::seconds(2) / slot;
   const double per_gap_decay =
       std::pow(1.0 - config.red->weight, slots_per_gap);
@@ -206,7 +206,7 @@ TEST(RedTest, PausedSpansDoNotCountAsIdleTime) {
   const Duration idle =
       (Duration::seconds(1) - drained_at) + Duration::seconds(1);
   const double slots =
-      idle / link.service_time(config.red->mean_packet_bytes);
+      idle / link.service_time(config.red->mean_packet);
   const double expected =
       avg_after_burst * std::pow(1.0 - config.red->weight, slots);
   EXPECT_NEAR(link.red_average_queue(), expected, expected * 1e-9);
@@ -218,7 +218,7 @@ TEST(RedTest, RejectsMalformedConfig) {
   config.red->max_threshold = config.red->min_threshold;  // not >
   EXPECT_THROW(Link(simulator, config, Rng(1)), std::invalid_argument);
   config = red_config();
-  config.red->max_probability = 0.0;
+  config.red->max_probability = Probability::zero();
   EXPECT_THROW(Link(simulator, config, Rng(1)), std::invalid_argument);
   config = red_config();
   config.red->weight = 1.5;

@@ -12,7 +12,7 @@ struct ShaperFixture : public ::testing::Test {
     src = net.add_node("src");
     dst = net.add_node("dst");
     LinkConfig config;
-    config.rate_bps = 100e6;
+    config.rate = Bandwidth::bps(100e6);
     config.propagation = Duration::micros(1);
     config.buffer_packets = 100000;
     net.add_duplex_link(src, dst, config);
@@ -40,8 +40,8 @@ struct ShaperFixture : public ::testing::Test {
 
 TEST_F(ShaperFixture, BurstWithinBucketPassesImmediately) {
   ShaperConfig config;
-  config.rate_bps = 128e3;
-  config.bucket_bytes = 2048;  // 4 x 512 B
+  config.rate = Bandwidth::bps(128e3);
+  config.bucket = ByteSize::bytes(2048);  // 4 x 512 B
   TokenBucketShaper shaper(simulator, net, config);
   for (int i = 0; i < 4; ++i) shaper.offer(make_packet());
   EXPECT_EQ(shaper.forwarded(), 4u);
@@ -52,8 +52,8 @@ TEST_F(ShaperFixture, BurstWithinBucketPassesImmediately) {
 
 TEST_F(ShaperFixture, ExcessIsPacedAtTokenRate) {
   ShaperConfig config;
-  config.rate_bps = 128e3;  // 512 B every 32 ms
-  config.bucket_bytes = 512;
+  config.rate = Bandwidth::bps(128e3);  // 512 B every 32 ms
+  config.bucket = ByteSize::bytes(512);
   TokenBucketShaper shaper(simulator, net, config);
   for (int i = 0; i < 4; ++i) shaper.offer(make_packet());
   EXPECT_EQ(shaper.forwarded(), 1u);  // bucket covered one packet
@@ -68,8 +68,8 @@ TEST_F(ShaperFixture, ExcessIsPacedAtTokenRate) {
 
 TEST_F(ShaperFixture, LongRunRateMatchesConfiguredRate) {
   ShaperConfig config;
-  config.rate_bps = 256e3;
-  config.bucket_bytes = 1024;
+  config.rate = Bandwidth::bps(256e3);
+  config.bucket = ByteSize::bytes(1024);
   config.queue_packets = 100000;
   TokenBucketShaper shaper(simulator, net, config);
   // Offer 2x the shaped rate for 10 seconds.
@@ -88,8 +88,8 @@ TEST_F(ShaperFixture, LongRunRateMatchesConfiguredRate) {
 
 TEST_F(ShaperFixture, TailDropWhenShaperQueueFull) {
   ShaperConfig config;
-  config.rate_bps = 128e3;
-  config.bucket_bytes = 512;
+  config.rate = Bandwidth::bps(128e3);
+  config.bucket = ByteSize::bytes(512);
   config.queue_packets = 2;
   TokenBucketShaper shaper(simulator, net, config);
   for (int i = 0; i < 6; ++i) shaper.offer(make_packet());
@@ -101,8 +101,8 @@ TEST_F(ShaperFixture, TailDropWhenShaperQueueFull) {
 
 TEST_F(ShaperFixture, TokensRefillDuringIdle) {
   ShaperConfig config;
-  config.rate_bps = 128e3;
-  config.bucket_bytes = 1024;
+  config.rate = Bandwidth::bps(128e3);
+  config.bucket = ByteSize::bytes(1024);
   TokenBucketShaper shaper(simulator, net, config);
   shaper.offer(make_packet());
   shaper.offer(make_packet());  // drains the bucket
@@ -118,11 +118,11 @@ TEST_F(ShaperFixture, TokensRefillDuringIdle) {
 
 TEST_F(ShaperFixture, RejectsBadConfig) {
   ShaperConfig config;
-  config.rate_bps = 0.0;
+  config.rate = Bandwidth::bps(0.0);
   EXPECT_THROW(TokenBucketShaper(simulator, net, config),
                std::invalid_argument);
   config = ShaperConfig{};
-  config.bucket_bytes = 0;
+  config.bucket = ByteSize::bytes(0);
   EXPECT_THROW(TokenBucketShaper(simulator, net, config),
                std::invalid_argument);
   config = ShaperConfig{};

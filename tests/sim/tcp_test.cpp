@@ -15,12 +15,12 @@ struct TcpFixture : public ::testing::Test {
     router = net.add_node("router");
     dst = net.add_node("dst");
     LinkConfig access;
-    access.rate_bps = 10e6;
+    access.rate = Bandwidth::bps(10e6);
     access.propagation = Duration::millis(1);
     access.buffer_packets = 1000;
     net.add_duplex_link(src, router, access);
     LinkConfig bottleneck_config;
-    bottleneck_config.rate_bps = 128e3;
+    bottleneck_config.rate = Bandwidth::bps(128e3);
     bottleneck_config.propagation = Duration::millis(20);
     bottleneck_config.buffer_packets = 16;
     bottleneck = &net.add_duplex_link(router, dst, bottleneck_config);
@@ -58,7 +58,7 @@ TEST(TcpSlowStartTest, WindowDoublesEachRttOnAFatPath) {
   const NodeId src = net.add_node("src");
   const NodeId dst = net.add_node("dst");
   LinkConfig link;
-  link.rate_bps = 10e6;
+  link.rate = Bandwidth::bps(10e6);
   link.propagation = Duration::millis(21);
   link.buffer_packets = 1000;
   net.add_duplex_link(src, dst, link);
@@ -158,7 +158,7 @@ TEST_F(TcpFixture, TwoFlowsShareTheBottleneck) {
   // shared node would collide on Network's single receiver slot.
   const NodeId src2 = net.add_node("src2");
   LinkConfig access;
-  access.rate_bps = 10e6;
+  access.rate = Bandwidth::bps(10e6);
   access.propagation = Duration::millis(1);
   access.buffer_packets = 1000;
   net.add_duplex_link(src2, router, access);
@@ -178,7 +178,7 @@ TEST_F(TcpFixture, TwoFlowsShareTheBottleneck) {
 
 TEST_F(TcpFixture, Validation) {
   TcpConfig config;
-  config.segment_bytes = 0;
+  config.segment = ByteSize::bytes(0);
   EXPECT_THROW(TcpSource(simulator, net, src, dst, 1, Rng(1), config),
                std::invalid_argument);
   config = TcpConfig{};

@@ -12,7 +12,7 @@ struct TrafficFixture : public ::testing::Test {
     src = net.add_node("src");
     dst = net.add_node("dst");
     LinkConfig config;
-    config.rate_bps = 100e6;
+    config.rate = Bandwidth::bps(100e6);
     config.propagation = Duration::micros(10);
     config.buffer_packets = 100000;
     net.add_duplex_link(src, dst, config);
@@ -35,7 +35,7 @@ struct TrafficFixture : public ::testing::Test {
 
 TEST_F(TrafficFixture, CbrSendsAtFixedInterval) {
   CbrSource source(simulator, net, src, dst, 1, PacketKind::kOther, Rng(1),
-                   Duration::millis(10), 72);
+                   Duration::millis(10), ByteSize::bytes(72));
   source.start(Duration::zero());
   simulator.run_until(Duration::millis(95));
   EXPECT_EQ(source.packets_sent(), 10u);  // t = 0, 10, ..., 90
@@ -46,7 +46,7 @@ TEST_F(TrafficFixture, CbrSendsAtFixedInterval) {
 
 TEST_F(TrafficFixture, StopCancelsFutureEmissions) {
   CbrSource source(simulator, net, src, dst, 1, PacketKind::kOther, Rng(1),
-                   Duration::millis(10), 72);
+                   Duration::millis(10), ByteSize::bytes(72));
   source.start(Duration::zero());
   simulator.run_until(Duration::millis(35));
   source.stop();
@@ -56,7 +56,7 @@ TEST_F(TrafficFixture, StopCancelsFutureEmissions) {
 
 TEST_F(TrafficFixture, StartTwiceIsIdempotent) {
   CbrSource source(simulator, net, src, dst, 1, PacketKind::kOther, Rng(1),
-                   Duration::millis(10), 72);
+                   Duration::millis(10), ByteSize::bytes(72));
   source.start(Duration::zero());
   source.start(Duration::zero());
   simulator.run_until(Duration::millis(5));
@@ -65,7 +65,7 @@ TEST_F(TrafficFixture, StartTwiceIsIdempotent) {
 
 TEST_F(TrafficFixture, PoissonRateMatchesConfiguredMean) {
   PoissonSource source(simulator, net, src, dst, 1, PacketKind::kInteractive,
-                       Rng(7), Duration::millis(5), 64);
+                       Rng(7), Duration::millis(5), ByteSize::bytes(64));
   source.start(Duration::zero());
   simulator.run_until(Duration::seconds(100));
   // 100 s at one packet per 5 ms -> ~20000; allow 5% statistical slack.
@@ -77,7 +77,7 @@ TEST_F(TrafficFixture, BurstSourceEmitsBurstsOfConfiguredMeanLength) {
   BurstConfig config;
   config.mean_burst_gap = Duration::millis(100);
   config.mean_burst_packets = 6.0;
-  config.packet_bytes = 512;
+  config.packet = ByteSize::bytes(512);
   config.in_burst_spacing = Duration::micros(41);
   BurstSource source(simulator, net, src, dst, 1, PacketKind::kBulk, Rng(11),
                      config);
@@ -99,8 +99,8 @@ TEST_F(TrafficFixture, FtpSessionPacesAtConfiguredShare) {
   config.mean_session = Duration::seconds(2);
   config.mean_idle = Duration::seconds(2);
   config.pace_load = 0.5;
-  config.bottleneck_bps = 128e3;
-  config.packet_bytes = 512;
+  config.bottleneck = Bandwidth::bps(128e3);
+  config.packet = ByteSize::bytes(512);
   FtpSessionSource source(simulator, net, src, dst, 1, PacketKind::kBulk,
                           Rng(13), config);
   source.start(Duration::zero());
@@ -127,7 +127,7 @@ TEST_F(TrafficFixture, OnOffAlternates) {
   config.mean_on = Duration::millis(100);
   config.mean_off = Duration::millis(100);
   config.on_interval = Duration::millis(5);
-  config.packet_bytes = 512;
+  config.packet = ByteSize::bytes(512);
   OnOffSource source(simulator, net, src, dst, 1, PacketKind::kBulk, Rng(17),
                      config);
   source.start(Duration::zero());
@@ -187,10 +187,10 @@ TEST_F(TrafficFixture, ParetoOnOffKeepsMeanButFattensTail) {
 
 TEST_F(TrafficFixture, RejectsBadConfigs) {
   EXPECT_THROW(CbrSource(simulator, net, src, dst, 1, PacketKind::kOther,
-                         Rng(1), Duration::zero(), 72),
+                         Rng(1), Duration::zero(), ByteSize::bytes(72)),
                std::invalid_argument);
   EXPECT_THROW(PoissonSource(simulator, net, src, dst, 1, PacketKind::kOther,
-                             Rng(1), Duration::zero(), 72),
+                             Rng(1), Duration::zero(), ByteSize::bytes(72)),
                std::invalid_argument);
   BurstConfig burst;
   burst.mean_burst_packets = 0.5;
@@ -230,7 +230,7 @@ TEST_F(TrafficFixture, VbrVideoValidation) {
                               PacketKind::kOther, Rng(1), config),
                std::invalid_argument);
   config = VbrVideoConfig{};
-  config.min_packet_bytes = 0;
+  config.min_packet = ByteSize::bytes(0);
   EXPECT_THROW(VbrVideoSource(simulator, net, src, dst, 1,
                               PacketKind::kOther, Rng(1), config),
                std::invalid_argument);
@@ -288,7 +288,7 @@ TEST_F(TrafficFixture, ModulatedPoissonValidation) {
 
 TEST_F(TrafficFixture, PacketIdsAreUniquePerSource) {
   CbrSource source(simulator, net, src, dst, 7, PacketKind::kOther, Rng(1),
-                   Duration::millis(1), 72);
+                   Duration::millis(1), ByteSize::bytes(72));
   source.start(Duration::zero());
   simulator.run_until(Duration::millis(100));
   EXPECT_EQ(source.flow(), 7u);

@@ -14,7 +14,7 @@ struct EchoFixture : public ::testing::Test {
     middle = net.add_node("middle");
     echo_node = net.add_node("echo");
     LinkConfig config;
-    config.rate_bps = 128e3;
+    config.rate = Bandwidth::bps(128e3);
     config.propagation = Duration::millis(10);
     config.buffer_packets = 64;
     net.add_duplex_link(source_node, middle, config);
@@ -31,7 +31,7 @@ TEST_F(EchoFixture, RoundTripOnIdlePathIsFixedDelay) {
   ProbeSourceConfig config;
   config.delta = Duration::millis(100);
   config.probe_count = 20;
-  config.probe_wire_bytes = 72;
+  config.probe_wire = ByteSize::bytes(72);
   UdpEchoSource source(simulator, net, source_node, echo_node, config);
   source.start(Duration::zero());
   simulator.run_until(Duration::seconds(10));
@@ -103,7 +103,7 @@ TEST_F(EchoFixture, CrossTrafficAtEchoNodeIsNotEchoed) {
   source.start(Duration::zero());
   // Bulk traffic addressed to the echo host itself.
   CbrSource cross(simulator, net, source_node, echo_node, 2,
-                  PacketKind::kBulk, Rng(1), Duration::millis(20), 512);
+                  PacketKind::kBulk, Rng(1), Duration::millis(20), ByteSize::bytes(512));
   cross.start(Duration::zero());
   simulator.run_until(Duration::seconds(2));
   EXPECT_EQ(echo.echoed_count(), 1u);  // only the probe came back
@@ -118,7 +118,7 @@ TEST_F(EchoFixture, ProbesDelayedByQueueingShowHigherRtt) {
   source.start(Duration::zero());
   // Saturating cross traffic over the first link, same direction.
   CbrSource cross(simulator, net, source_node, echo_node, 2,
-                  PacketKind::kBulk, Rng(1), Duration::millis(30), 512);
+                  PacketKind::kBulk, Rng(1), Duration::millis(30), ByteSize::bytes(512));
   cross.start(Duration::zero());
   simulator.run_until(Duration::seconds(10));
   const auto trace = source.trace();
@@ -164,7 +164,7 @@ TEST_F(EchoFixture, RejectsBadConfig) {
       UdpEchoSource(simulator, net, source_node, echo_node, config),
       std::invalid_argument);
   config.delta = Duration::millis(10);
-  config.probe_wire_bytes = 0;
+  config.probe_wire = ByteSize::bytes(0);
   EXPECT_THROW(
       UdpEchoSource(simulator, net, source_node, echo_node, config),
       std::invalid_argument);

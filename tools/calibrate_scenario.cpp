@@ -76,7 +76,7 @@ int main(int argc, char** argv) {
             cross.bulk_load = bulk;
             overrides.cross_traffic = cross;
             overrides.bottleneck_buffer_packets = buffer;
-            overrides.faulty_interface_drop = drop;
+            overrides.faulty_interface_drop = Probability::checked(drop);
             const auto run = scenario::run_inria_umd(plan, overrides);
             const auto loss = analysis::loss_stats(run.trace);
             point.ulp.push_back(loss.ulp);

@@ -1,0 +1,346 @@
+#!/usr/bin/env python3
+"""Static lint: determinism hazards plus dimensional-unit discipline.
+
+Supersedes tools/lint_determinism.py in CI: this lint imports that
+module's rules and runs them unchanged, then adds the unit-discipline
+rules introduced together with src/util/units.h.  The goal is that the
+strong-typed boundary cannot erode one signature at a time — new code in
+the unit-typed layers must traffic in Bandwidth / ByteSize / BitSize /
+Rate / Probability, not in raw scalars with a suffix naming the unit.
+
+Unit rules (on top of lint_determinism's)
+-----------------------------------------
+  raw-unit-param       a function signature in src/sim or src/scenario
+                       declares `double <name>_bps` or an integer
+                       `<name>_bytes` parameter.  Pass Bandwidth /
+                       ByteSize / BitSize instead; the suffix convention
+                       is exactly what units.h replaces.
+  raw-unit-member      a header in src/sim or src/scenario declares a raw
+                       scalar field with a _bps/_bytes suffix.  The two
+                       seeded exceptions (Packet::size_bytes and the
+                       packet-log record that mirrors it) are wire-format
+                       endpoints whose layout is part of the trace ABI.
+  narrowing-unit-cast  a static_cast of a unit accessor (.bps(),
+                       .count(), .bit_count(), .value()) to a narrower
+                       arithmetic type anywhere in src/.  Narrowing a
+                       dimensioned quantity is a precision decision that
+                       must be visible in review; deliberate ones go in
+                       the allowlist with a justification.
+  unchecked-probability  a Probability constructed directly from a raw
+                       scalar (`Probability(x)` / `Probability{x}`)
+                       outside src/util/units.h.  All probability values
+                       must come through Probability::checked / zero /
+                       one so the [0,1] + NaN rejection cannot be
+                       bypassed.
+
+The analysis layer (src/analysis) is deliberately outside the scope of
+the raw-unit rules: it is the serialization/estimation boundary, where
+traces and estimators exchange plain scalars by design (LindleyOptions::
+bottleneck_bps, BottleneckEstimate::mu_bps, ProbeTrace::probe_wire_bytes,
+DeliverySchedule::bytes_per_opportunity).  Extending the typed layer
+across that boundary is future work; when it happens, these names move
+into the allowlist here.
+
+Engines
+-------
+When python3-clang (libclang) is importable AND its shared library
+loads, the raw-unit-param / raw-unit-member rules run as an AST pass:
+parameters and fields are resolved from clang cursors, so formatting
+cannot produce false positives or negatives.  Otherwise a regex engine
+with the same rule names runs; it is the engine CI exercises and the
+self-test validates, so both paths are load-bearing.  The
+narrowing-unit-cast and unchecked-probability rules are textual in both
+modes (a cast's value category is visible in the token stream; the AST
+adds nothing for them).
+
+Allowlist: tools/lint_static_allow.txt, same `<path> <rule>` format as
+the determinism allowlist (which this lint also honours for the imported
+determinism rules).  Stale entries fail the lint.
+
+Usage:  python3 tools/lint_static.py [--root DIR] [--self-test]
+Exit 0 when clean, 1 on findings, 2 on usage errors.
+"""
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import lint_determinism  # noqa: E402  (sibling module, reused wholesale)
+
+# Directories where the strong-typed units layer is mandatory.
+UNIT_DIRS = ("src/sim", "src/scenario")
+
+INT_TYPES = r"(?:(?:std::)?u?int(?:8|16|32|64)?_t|int|long|(?:std::)?size_t|unsigned)"
+
+# (rule, regex, dirs-restriction-or-None, header-only, advice)
+UNIT_RULES = [
+    (
+        "raw-unit-param",
+        re.compile(
+            r"\([^)]*?\b(?:double\s+\w*_bps\b|" + INT_TYPES + r"\s+\w*_bytes\b)"
+        ),
+        UNIT_DIRS,
+        False,
+        "pass Bandwidth / ByteSize / BitSize (src/util/units.h), not a "
+        "raw scalar with the unit in the name",
+    ),
+    (
+        "raw-unit-member",
+        re.compile(
+            r"^\s*(?:double\s+\w*_bps\b|" + INT_TYPES
+            + r"\s+\w*_bytes\b)\s*(?:=[^;]*)?;"
+        ),
+        UNIT_DIRS,
+        True,
+        "store Bandwidth / ByteSize / BitSize; raw fields reintroduce "
+        "unit confusion at every use site",
+    ),
+    (
+        "narrowing-unit-cast",
+        re.compile(
+            r"static_cast<\s*(?:float|short|int|long|unsigned(?:\s+\w+)?"
+            r"|std::u?int(?:8|16|32)_t)\s*>\s*\([^()]*"
+            r"\.(?:bps|count|bit_count|value)\(\)"
+        ),
+        None,
+        False,
+        "narrowing a dimensioned quantity loses precision silently; if "
+        "deliberate, allowlist it with a justification",
+    ),
+    (
+        "unchecked-probability",
+        re.compile(r"\bProbability\s*[({](?!\s*[)}])"),
+        None,
+        False,
+        "construct through Probability::checked / zero / one so the "
+        "[0,1] and NaN checks cannot be bypassed",
+    ),
+]
+
+# Files whose job is to define the guarded constructors themselves.
+UNIT_RULE_EXEMPT_FILES = {"src/util/units.h"}
+
+
+def scan_lines(rel: str, lines: list[str],
+               skip_rules: set[str] = frozenset()) -> list[tuple[str, int, str, str]]:
+    """Apply every textual rule to one file's lines.
+
+    Returns (rule, lineno, stripped-line, advice) tuples.  Shared by the
+    real scan and --self-test so the self-test exercises the production
+    rule logic, not a copy.
+    """
+    findings: list[tuple[str, int, str, str]] = []
+    is_header = rel.endswith((".h", ".hpp"))
+    for lineno, line in enumerate(lines, start=1):
+        code = lint_determinism.strip_comments(line)
+        for rule, pattern, dirs, advice in lint_determinism.RULES:
+            if not lint_determinism.in_restricted_dirs(rel, dirs):
+                continue
+            if pattern.search(code):
+                findings.append((rule, lineno, line.strip(), advice))
+        if rel in UNIT_RULE_EXEMPT_FILES:
+            continue
+        for rule, pattern, dirs, header_only, advice in UNIT_RULES:
+            if rule in skip_rules:
+                continue
+            if not lint_determinism.in_restricted_dirs(rel, dirs):
+                continue
+            if header_only and not is_header:
+                continue
+            if pattern.search(code):
+                findings.append((rule, lineno, line.strip(), advice))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Optional AST engine (libclang).  Replaces the two declaration rules with
+# cursor walks; the textual rules still run alongside.
+# ---------------------------------------------------------------------------
+
+def try_libclang():
+    try:
+        from clang import cindex  # type: ignore
+        index = cindex.Index.create()
+        return cindex, index
+    except Exception:
+        return None, None
+
+
+def ast_scan(cindex, index, root: Path, path: Path,
+             rel: str) -> list[tuple[str, int, str, str]]:
+    """AST pass for raw-unit-param / raw-unit-member on one file."""
+    findings: list[tuple[str, int, str, str]] = []
+    args = ["-std=c++20", f"-I{root / 'src'}", "-x", "c++"]
+    tu = index.parse(str(path), args=args)
+    K = cindex.CursorKind
+    for cursor in tu.cursor.walk_preorder():
+        loc = cursor.location
+        if loc.file is None or Path(loc.file.name).resolve() != path.resolve():
+            continue
+        name = cursor.spelling or ""
+        raw_scalar = cursor.type.get_canonical().kind.name in (
+            "DOUBLE", "FLOAT", "INT", "UINT", "LONG", "ULONG", "LONGLONG",
+            "ULONGLONG", "SHORT", "USHORT",
+        )
+        if not raw_scalar:
+            continue
+        if cursor.kind == K.PARM_DECL and (
+                name.endswith("_bps") or name.endswith("_bytes")):
+            findings.append((
+                "raw-unit-param", loc.line, f"parameter '{name}'",
+                "pass Bandwidth / ByteSize / BitSize (src/util/units.h)"))
+        elif cursor.kind == K.FIELD_DECL and (
+                name.endswith("_bps") or name.endswith("_bytes")):
+            findings.append((
+                "raw-unit-member", loc.line, f"field '{name}'",
+                "store Bandwidth / ByteSize / BitSize"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Self-test: the acceptance check that a synthetic raw-unit signature is
+# rejected and idiomatic typed code is not.
+# ---------------------------------------------------------------------------
+
+SELF_TEST_CASES = [
+    # (description, pseudo-path, snippet, rules expected to fire)
+    ("raw double _bps parameter is rejected",
+     "src/sim/synthetic.h",
+     "void configure(double rate_bps, int retries);",
+     {"raw-unit-param"}),
+    ("raw integer _bytes parameter is rejected",
+     "src/scenario/synthetic.cpp",
+     "static Duration service(std::int64_t frame_bytes) { return {}; }",
+     {"raw-unit-param"}),
+    ("typed signature is clean",
+     "src/sim/synthetic.h",
+     "void configure(Bandwidth rate, ByteSize frame);",
+     set()),
+    ("raw _bytes field in a sim header is rejected",
+     "src/sim/synthetic.h",
+     "  std::int64_t payload_bytes = 0;",
+     {"raw-unit-member"}),
+    ("same field outside the typed dirs is out of scope",
+     "src/analysis/synthetic.h",
+     "  std::int64_t payload_bytes = 0;",
+     set()),
+    ("narrowing cast of a unit accessor is flagged",
+     "src/sim/synthetic.cpp",
+     "const float f = static_cast<float>(rate.bps());",
+     {"narrowing-unit-cast"}),
+    ("widening cast of a unit accessor is fine",
+     "src/sim/synthetic.cpp",
+     "const double d = static_cast<double>(frame.count());",
+     set()),
+    ("raw Probability construction is rejected",
+     "src/sim/synthetic.cpp",
+     "channel.drop = Probability(0.5);",
+     {"unchecked-probability"}),
+    ("checked Probability construction is fine",
+     "src/sim/synthetic.cpp",
+     "channel.drop = Probability::checked(0.5);",
+     set()),
+    ("determinism rules still run (rand ban inherited)",
+     "src/sim/synthetic.cpp",
+     "int jitter = rand() % 7;",
+     {"libc-rand"}),
+]
+
+
+def self_test() -> int:
+    failures = 0
+    for desc, rel, snippet, expected in SELF_TEST_CASES:
+        fired = {rule for rule, _, _, _ in scan_lines(rel, [snippet])}
+        if fired != expected:
+            failures += 1
+            print(f"SELF-TEST FAIL: {desc}\n  snippet: {snippet}\n"
+                  f"  expected {sorted(expected)}, got {sorted(fired)}",
+                  file=sys.stderr)
+        else:
+            print(f"self-test ok: {desc}")
+    if failures:
+        print(f"\nlint_static --self-test: {failures} case(s) failed",
+              file=sys.stderr)
+        return 1
+    print(f"lint_static --self-test: all {len(SELF_TEST_CASES)} cases pass")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: this script's parent's parent)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the rule engine against synthetic snippets")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    root = (Path(args.root) if args.root
+            else Path(__file__).resolve().parent.parent)
+    src = root / "src"
+    if not src.is_dir():
+        print(f"lint_static: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    allowed = lint_determinism.load_allowlist(
+        root / "tools" / "lint_static_allow.txt")
+    allowed |= lint_determinism.load_allowlist(
+        root / "tools" / "lint_determinism_allow.txt")
+    used_allow: set[tuple[str, str]] = set()
+    findings: list[str] = []
+    allowed_hits: list[str] = []
+    scanned = 0
+
+    cindex, index = try_libclang()
+    engine = "libclang AST + regex" if index else "regex"
+    # With the AST engine, the two declaration rules come from cursors;
+    # the textual pass skips them so a finding is never double-reported.
+    textual_skip = {"raw-unit-param", "raw-unit-member"} if index else set()
+
+    for path in sorted(src.rglob("*")):
+        if (path.suffix not in lint_determinism.SOURCE_SUFFIXES
+                or not path.is_file()):
+            continue
+        rel = path.relative_to(root).as_posix()
+        scanned += 1
+        lines = path.read_text(errors="replace").splitlines()
+        file_findings = scan_lines(rel, lines, skip_rules=textual_skip)
+        if index and lint_determinism.in_restricted_dirs(rel, UNIT_DIRS) \
+                and rel not in UNIT_RULE_EXEMPT_FILES:
+            file_findings += ast_scan(cindex, index, root, path, rel)
+        for rule, lineno, text, advice in file_findings:
+            where = f"{rel}:{lineno}: [{rule}] {text}"
+            if (rel, rule) in allowed:
+                used_allow.add((rel, rule))
+                allowed_hits.append(where)
+            else:
+                findings.append(f"{where}\n    -> {advice}")
+
+    for hit in allowed_hits:
+        print(f"allowed: {hit}")
+    stale = allowed - used_allow
+    for rel, rule in sorted(stale):
+        print(f"stale allowlist entry (no longer matches): {rel} {rule}")
+
+    if findings:
+        print(f"\nlint_static ({engine}): {len(findings)} finding(s) in "
+              f"{scanned} files:\n", file=sys.stderr)
+        for finding in findings:
+            print(finding, file=sys.stderr)
+        print("\nEither fix the hazard or add '<path> <rule>' to "
+              "tools/lint_static_allow.txt with a justifying comment.",
+              file=sys.stderr)
+        return 1
+
+    print(f"lint_static ({engine}): clean ({scanned} files, "
+          f"{len(allowed_hits)} allowlisted)")
+    return 1 if stale else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,11 +36,14 @@ int main(int argc, char** argv) {
     if (argc >= 5) {
       config.one_way_delay = Duration::millis(std::strtod(argv[4], nullptr));
     }
-    if (argc >= 6) config.rate_bps = std::strtod(argv[5], nullptr);
+    if (argc >= 6) config.rate = Bandwidth::bps(std::strtod(argv[5], nullptr));
     if (argc >= 7) {
       config.buffer_packets = std::strtoul(argv[6], nullptr, 10);
     }
-    if (argc >= 8) config.loss_probability = std::strtod(argv[7], nullptr);
+    if (argc >= 8) {
+      config.loss_probability =
+          bolot::Probability::checked(std::strtod(argv[7], nullptr));
+    }
 
     netdyn::PathEmulator emulator(listen_port, config);
     emulator.start();
@@ -49,8 +52,8 @@ int main(int argc, char** argv) {
     std::cout << "emulating path to " << config.target.to_string()
               << " on UDP port " << emulator.port() << ": delay "
               << config.one_way_delay.to_string() << ", rate "
-              << config.rate_bps << " b/s, buffer " << config.buffer_packets
-              << " pkts, loss " << config.loss_probability
+              << config.rate.bps() << " b/s, buffer " << config.buffer_packets
+              << " pkts, loss " << config.loss_probability.value()
               << " (ctrl-c to stop)\n";
     while (g_stop == 0) {
       // The worker thread does the relaying; just idle here.

@@ -64,8 +64,11 @@ int main(int argc, char** argv) {
       overrides.bottleneck_buffer_packets =
           std::strtoul(next_value().c_str(), nullptr, 10);
     } else if (arg == "--drop") {
-      overrides.faulty_interface_drop =
-          std::strtod(next_value().c_str(), nullptr);
+      const double p = std::strtod(next_value().c_str(), nullptr);
+      if (!(p >= 0.0 && p <= 1.0)) {
+        usage_error("--drop must be a probability in [0, 1]");
+      }
+      overrides.faulty_interface_drop = bolot::Probability::checked(p);
     } else if (arg == "--load") {
       const double scale = std::strtod(next_value().c_str(), nullptr);
       scenario::CrossTraffic cross;

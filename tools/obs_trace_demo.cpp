@@ -41,14 +41,14 @@ int main(int argc, char** argv) {
 
     sim::LinkConfig fast;
     fast.name = "src->mid";
-    fast.rate_bps = 10e6;
+    fast.rate = Bandwidth::bps(10e6);
     fast.propagation = Duration::millis(1);
     fast.buffer_packets = 100;
     net.add_link(src, mid, fast);
 
     sim::LinkConfig slow;
     slow.name = "mid->dst";
-    slow.rate_bps = 1e6;  // 10:1 bottleneck
+    slow.rate = Bandwidth::bps(1e6);  // 10:1 bottleneck
     slow.propagation = Duration::millis(5);
     slow.buffer_packets = 8;  // tight: overload produces link.drop instants
     net.add_link(mid, dst, slow);
@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
     // Offer 2x the bottleneck rate so roughly half the packets drop.
     sim::CbrSource source(simulator, net, src, dst, /*flow=*/1,
                           sim::PacketKind::kBulk, Rng(7),
-                          Duration::micros(2048), /*packet_bytes=*/512);
+                          Duration::micros(2048), /*packet=*/ByteSize::bytes(512));
     net.compute_routes();
     source.start(SimTime());
     simulator.run_until(Duration::seconds(2));
