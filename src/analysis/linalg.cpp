@@ -72,4 +72,37 @@ std::vector<double> least_squares(const Matrix& x, std::span<const double> y) {
   return solve_linear(std::move(xtx), std::move(xty));
 }
 
+std::vector<double> ridge_least_squares(const Matrix& x,
+                                        std::span<const double> y,
+                                        double lambda) {
+  const std::size_t n = x.rows();
+  const std::size_t p = x.cols();
+  if (y.size() != n) {
+    throw std::invalid_argument("ridge_least_squares: y size");
+  }
+  if (!(lambda > 0.0)) {  // the negation also rejects NaN
+    throw std::invalid_argument("ridge_least_squares: lambda must be > 0");
+  }
+
+  // Normal equations: (X^T X + lambda I) beta = X^T y.
+  Matrix xtx(p, p);
+  std::vector<double> xty(p, 0.0);
+  for (std::size_t row = 0; row < n; ++row) {
+    for (std::size_t i = 0; i < p; ++i) {
+      const double xi = x.at(row, i);
+      xty[i] += xi * y[row];
+      for (std::size_t j = i; j < p; ++j) {
+        xtx.at(i, j) += xi * x.at(row, j);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < p; ++i) {
+    xtx.at(i, i) += lambda;
+    for (std::size_t j = 0; j < i; ++j) {
+      xtx.at(i, j) = xtx.at(j, i);
+    }
+  }
+  return solve_linear(std::move(xtx), std::move(xty));
+}
+
 }  // namespace bolot::analysis

@@ -37,4 +37,13 @@ std::vector<double> solve_linear(Matrix a, std::vector<double> b);
 /// equations.  X.rows() == y.size() and X.rows() >= X.cols() required.
 std::vector<double> least_squares(const Matrix& x, std::span<const double> y);
 
+/// Ridge-regularized least squares: minimizes
+/// ||X beta - y||^2 + lambda ||beta||^2 with lambda > 0.  Unlike
+/// least_squares, X^T X + lambda I is always invertible, so rank-deficient
+/// designs (e.g. a tomography routing matrix with unresolvable link
+/// classes) get the minimum-norm-flavored solution instead of a throw.
+std::vector<double> ridge_least_squares(const Matrix& x,
+                                        std::span<const double> y,
+                                        double lambda);
+
 }  // namespace bolot::analysis

@@ -23,6 +23,7 @@ std::vector<double> lindley_waits(std::span<const double> service,
 }
 
 std::vector<double> workload_samples_ms(const ProbeTrace& trace) {
+  validate_probe_order(trace, "workload_samples_ms");
   std::vector<double> samples;
   const double delta_ms = trace.delta.millis();
   const auto& records = trace.records;
@@ -213,6 +214,7 @@ BottleneckEstimate estimate_bottleneck_packet_pair(
     throw std::invalid_argument(
         "estimate_bottleneck_packet_pair: outlier_factor must be >= 1");
   }
+  validate_probe_order(trace, "estimate_bottleneck_packet_pair");
   std::vector<double> spacings_ms;
   const auto& records = trace.records;
   for (std::size_t n = 0; n + 1 < records.size(); ++n) {

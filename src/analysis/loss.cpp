@@ -60,6 +60,7 @@ LossStats loss_stats(std::span<const std::uint8_t> losses) {
 }
 
 LossStats loss_stats(const ProbeTrace& trace) {
+  validate_probe_order(trace, "loss_stats");
   const auto indicators = trace.loss_indicators();
   return loss_stats(indicators);
 }

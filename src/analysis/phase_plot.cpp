@@ -11,6 +11,7 @@
 namespace bolot::analysis {
 
 PhasePlot build_phase_plot(const ProbeTrace& trace) {
+  validate_probe_order(trace, "build_phase_plot");
   PhasePlot plot;
   const auto& records = trace.records;
   for (std::size_t n = 0; n + 1 < records.size(); ++n) {

@@ -1,5 +1,8 @@
 #include "analysis/probe_trace.h"
 
+#include <stdexcept>
+#include <string>
+
 namespace bolot::analysis {
 
 std::size_t ProbeTrace::received_count() const {
@@ -31,6 +34,20 @@ std::vector<std::uint8_t> ProbeTrace::loss_indicators() const {
   out.reserve(records.size());
   for (const auto& r : records) out.push_back(r.received ? 0 : 1);
   return out;
+}
+
+void validate_probe_order(const ProbeTrace& trace, const char* caller) {
+  const auto& records = trace.records;
+  for (std::size_t n = 0; n + 1 < records.size(); ++n) {
+    if (records[n + 1].seq <= records[n].seq) {
+      throw std::invalid_argument(
+          std::string(caller) +
+          ": probe trace is not in strictly increasing seq order (seq " +
+          std::to_string(records[n].seq) + " followed by seq " +
+          std::to_string(records[n + 1].seq) + " at index " +
+          std::to_string(n + 1) + ")");
+    }
+  }
 }
 
 }  // namespace bolot::analysis

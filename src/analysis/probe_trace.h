@@ -45,4 +45,16 @@ struct ProbeTrace {
   std::vector<std::uint8_t> loss_indicators() const;
 };
 
+/// Throws std::invalid_argument unless `trace.records` is in strictly
+/// increasing seq order (no duplicates, no reordering).  Every estimator
+/// built on consecutive-pair semantics (loss_stats, workload_samples_ms
+/// and its callers, build_phase_plot, reorder_stats,
+/// loss_delay_correlation) calls this at entry: a shuffled or
+/// duplicate-seq trace silently fabricates pairs that never happened on
+/// the wire, which is worse than failing loudly.  Order-insensitive
+/// per-record estimators (one_way_samples) deliberately skip it; the
+/// per-estimator contract is documented in docs/ESTIMATORS.md.
+/// `caller` names the estimator in the exception message.
+void validate_probe_order(const ProbeTrace& trace, const char* caller);
+
 }  // namespace bolot::analysis

@@ -8,6 +8,7 @@
 namespace bolot::analysis {
 
 ReorderStats reorder_stats(const ProbeTrace& trace) {
+  validate_probe_order(trace, "reorder_stats");
   ReorderStats stats;
   const auto& records = trace.records;
   for (std::size_t n = 0; n + 1 < records.size(); ++n) {
@@ -26,6 +27,7 @@ ReorderStats reorder_stats(const ProbeTrace& trace) {
 }
 
 double loss_delay_correlation(const ProbeTrace& trace) {
+  validate_probe_order(trace, "loss_delay_correlation");
   // Pair each probe (from the second onward) with the rtt of the nearest
   // received probe before it.
   std::vector<double> loss_indicator;

@@ -95,6 +95,13 @@ void Link::set_delivery_hook(DeliveryHook hook) {
   add_delivery_hook(std::move(hook));
 }
 
+void Link::set_random_drop_probability(Probability p) {
+  if (p >= Probability::one()) {
+    throw std::invalid_argument("Link: drop probability outside [0, 1)");
+  }
+  config_.random_drop_probability = p;
+}
+
 bool Link::red_admits(std::size_t queue_length) {
   const RedConfig& red = *config_.red;
   if (queue_length == 0) {

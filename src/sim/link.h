@@ -191,6 +191,11 @@ class Link {
   const LinkConfig& config() const { return config_; }
   const LinkStats& stats() const { return stats_; }
 
+  /// Reassigns the faulty-interface drop rate after construction, with
+  /// the constructor's [0, 1) guard.  Lets scenarios (e.g. tomography
+  /// meshes) seed per-link loss on an already-instantiated topology.
+  void set_random_drop_probability(Probability p);
+
   /// Packets currently buffered, including the one in service.
   std::size_t queue_length() const { return queue_.size(); }
   /// Bytes currently buffered (whole packets, including the one in

@@ -33,13 +33,17 @@ Unit rules (on top of lint_determinism's)
                        one so the [0,1] + NaN rejection cannot be
                        bypassed.
 
-The analysis layer (src/analysis) is deliberately outside the scope of
-the raw-unit rules: it is the serialization/estimation boundary, where
-traces and estimators exchange plain scalars by design (LindleyOptions::
-bottleneck_bps, BottleneckEstimate::mu_bps, ProbeTrace::probe_wire_bytes,
-DeliverySchedule::bytes_per_opportunity).  Extending the typed layer
-across that boundary is future work; when it happens, these names move
-into the allowlist here.
+The legacy batch-analysis layer (src/analysis) is deliberately outside
+the scope of the raw-unit rules: it is the serialization/estimation
+boundary, where traces and estimators exchange plain scalars by design
+(LindleyOptions::bottleneck_bps, BottleneckEstimate::mu_bps,
+ProbeTrace::probe_wire_bytes, DeliverySchedule::bytes_per_opportunity).
+The *streaming* estimator layer (src/analysis/streaming.{h,cpp}) is the
+exception: it was written against the typed units (StreamingLindleyConfig
+takes Bandwidth / ByteSize / Duration), so it is enrolled in the
+raw-unit rules via UNIT_FILES and must stay typed.  Extending the typed
+layer across the rest of the batch boundary is future work; when it
+happens, those names move into the allowlist here.
 
 Engines
 -------
@@ -72,6 +76,18 @@ import lint_determinism  # noqa: E402  (sibling module, reused wholesale)
 
 # Directories where the strong-typed units layer is mandatory.
 UNIT_DIRS = ("src/sim", "src/scenario")
+
+# Individual files outside UNIT_DIRS that opted into the typed layer and
+# must not regress to raw-scalar signatures.  The streaming estimators
+# take Bandwidth / ByteSize / Duration in their configs by construction.
+UNIT_FILES = ("src/analysis/streaming.h", "src/analysis/streaming.cpp")
+
+
+def in_unit_scope(rel: str, dirs: tuple[str, ...] | None) -> bool:
+    """UNIT_DIRS membership, extended by the UNIT_FILES enrollment."""
+    if dirs is None:
+        return True
+    return lint_determinism.in_restricted_dirs(rel, dirs) or rel in UNIT_FILES
 
 INT_TYPES = r"(?:(?:std::)?u?int(?:8|16|32|64)?_t|int|long|(?:std::)?size_t|unsigned)"
 
@@ -146,7 +162,7 @@ def scan_lines(rel: str, lines: list[str],
         for rule, pattern, dirs, header_only, advice in UNIT_RULES:
             if rule in skip_rules:
                 continue
-            if not lint_determinism.in_restricted_dirs(rel, dirs):
+            if not in_unit_scope(rel, dirs):
                 continue
             if header_only and not is_header:
                 continue
@@ -227,6 +243,14 @@ SELF_TEST_CASES = [
      "src/analysis/synthetic.h",
      "  std::int64_t payload_bytes = 0;",
      set()),
+    ("streaming estimator header is enrolled despite living in analysis",
+     "src/analysis/streaming.h",
+     "  std::int64_t probe_wire_bytes = 0;",
+     {"raw-unit-member"}),
+    ("streaming estimator impl rejects raw-unit parameters too",
+     "src/analysis/streaming.cpp",
+     "void rebase(double mu_bps) {}",
+     {"raw-unit-param"}),
     ("narrowing cast of a unit accessor is flagged",
      "src/sim/synthetic.cpp",
      "const float f = static_cast<float>(rate.bps());",
@@ -310,7 +334,7 @@ def main() -> int:
         scanned += 1
         lines = path.read_text(errors="replace").splitlines()
         file_findings = scan_lines(rel, lines, skip_rules=textual_skip)
-        if index and lint_determinism.in_restricted_dirs(rel, UNIT_DIRS) \
+        if index and in_unit_scope(rel, UNIT_DIRS) \
                 and rel not in UNIT_RULE_EXEMPT_FILES:
             file_findings += ast_scan(cindex, index, root, path, rel)
         for rule, lineno, text, advice in file_findings:
